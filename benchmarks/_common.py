@@ -1,0 +1,63 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (or one of the
+ablations listed in DESIGN.md): it runs the corresponding campaign against the
+simulated testbed, prints the same rows/series the paper reports (reproduced
+vs. paper values where the paper gives numbers), writes the report to
+``benchmarks/results/``, and asserts the qualitative *shape* of the result.
+
+Campaign sizes scale with the ``REPRO_BENCH_SCALE`` environment variable
+(default 1.0); absolute wall-clock timings reported by pytest-benchmark measure
+the campaign execution itself and are secondary to the printed reports.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable, Dict, Sequence
+
+from repro.core.campaign import Campaign, CampaignResult
+from repro.core.experiment import SutFactory, default_sut_factory
+from repro.core.plan import TestPlan
+from repro.core.recording import ExperimentRecord
+
+#: Shares reported by the paper's Figure 3 (read off the chart).
+PAPER_FIGURE3_REFERENCE: Dict[str, float] = {
+    "correct": 0.63,
+    "panic_park": 0.30,
+    "cpu_park": 0.07,
+}
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    """Campaign-size multiplier taken from ``REPRO_BENCH_SCALE``."""
+    try:
+        return max(0.05, float(os.environ.get("REPRO_BENCH_SCALE", "1.0")))
+    except ValueError:
+        return 1.0
+
+
+def scaled(count: int, *, minimum: int = 4) -> int:
+    """Scale a campaign size by the bench multiplier."""
+    return max(minimum, int(round(count * bench_scale())))
+
+
+def run_campaign(plan: TestPlan,
+                 sut_factory: SutFactory = default_sut_factory) -> CampaignResult:
+    """Execute a plan and return its aggregated result."""
+    return Campaign(plan, sut_factory=sut_factory).run()
+
+
+def save_and_print(name: str, report: str) -> None:
+    """Print a report and persist it under ``benchmarks/results/``."""
+    print()
+    print(report)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(report + "\n", encoding="utf-8")
+
+
+def records_of(result: CampaignResult) -> Sequence[ExperimentRecord]:
+    return result.to_records()

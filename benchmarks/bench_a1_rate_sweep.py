@@ -1,0 +1,70 @@
+"""A1 (ablation) — outcome distribution vs. injection rate.
+
+The paper fixes two rates (1/100 and 1/50 calls) and notes that "the rate of
+occurrence is configurable". This ablation sweeps the interval from one
+injection every 25 calls to one every 400 and shows how the Figure-3 shares
+shift: more frequent injections mean fewer correct runs and more panic parks,
+while very sparse injections are almost always masked.
+"""
+
+from __future__ import annotations
+
+from _common import records_of, run_campaign, save_and_print, scaled
+
+from repro.analysis.figures import ascii_series_table
+from repro.core.analysis import availability_breakdown, mean_injections_per_test
+from repro.core.plan import build_custom_plan
+from repro.core.faultmodels import SingleBitFlip
+from repro.core.targets import InjectionTarget
+from repro.core.triggers import EveryNCalls
+
+INTERVALS = (25, 50, 100, 200, 400)
+
+
+def _run():
+    sweep = {}
+    tests = scaled(16, minimum=6)
+    for interval in INTERVALS:
+        plan = build_custom_plan(
+            f"rate-1per{interval}",
+            InjectionTarget.nonroot_cpu_trap(),
+            trigger_factory=lambda interval=interval: EveryNCalls(interval),
+            fault_model_factory=SingleBitFlip,
+            num_tests=tests,
+            duration=30.0,
+            base_seed=3000 + interval,
+            intensity=f"1/{interval}",
+        )
+        sweep[interval] = run_campaign(plan)
+    return sweep
+
+
+def test_injection_rate_sweep(benchmark):
+    sweep = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = []
+    shares = {}
+    for interval, result in sorted(sweep.items()):
+        records = records_of(result)
+        breakdown = availability_breakdown(records)
+        shares[interval] = breakdown
+        rows.append((
+            f"1/{interval}",
+            mean_injections_per_test(records),
+            breakdown["correct"],
+            breakdown["panic_park"],
+            breakdown["cpu_park"],
+        ))
+    table = ascii_series_table(
+        rows, headers=["rate", "mean inj/test", "correct", "panic park", "cpu park"]
+    )
+    save_and_print("a1_rate_sweep",
+                   "A1: outcome shares vs. injection rate (30 s tests)\n" + table)
+
+    # Shape checks: the correct share grows monotonically-ish with the
+    # injection interval (comparing the densest and sparsest settings), and
+    # the mean number of injections per test shrinks accordingly.
+    densest, sparsest = shares[INTERVALS[0]], shares[INTERVALS[-1]]
+    assert sparsest["correct"] >= densest["correct"]
+    assert sparsest["panic_park"] <= densest["panic_park"]
+    assert (mean_injections_per_test(records_of(sweep[INTERVALS[0]]))
+            > mean_injections_per_test(records_of(sweep[INTERVALS[-1]])))

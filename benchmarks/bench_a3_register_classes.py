@@ -1,0 +1,76 @@
+"""A3 (ablation) — which register class drives each failure mode.
+
+The paper's fault model picks a random architectural register; this ablation
+restricts the bit flips to one register class at a time (general-purpose,
+stack pointer, link register, program counter, status register) and shows
+which class is responsible for which outcome: PC corruption drives the panic
+parks, SP corruption drives the 0x24 CPU parks, and general-purpose registers
+are almost always benign — the mechanism behind Figure 3's shape.
+"""
+
+from __future__ import annotations
+
+from _common import records_of, run_campaign, save_and_print, scaled
+
+from repro.core.analysis import outcome_distribution
+from repro.core.faultmodels import RegisterClassBitFlip
+from repro.core.outcomes import Outcome
+from repro.core.plan import build_custom_plan
+from repro.core.report import format_comparison
+from repro.core.targets import InjectionTarget
+from repro.core.triggers import EveryNCalls
+from repro.hw.registers import RegisterClass
+
+CLASSES = (
+    RegisterClass.GENERAL_PURPOSE,
+    RegisterClass.STACK_POINTER,
+    RegisterClass.LINK_REGISTER,
+    RegisterClass.PROGRAM_COUNTER,
+    RegisterClass.STATUS,
+)
+
+
+def _run():
+    campaigns = {}
+    tests = scaled(12, minimum=5)
+    for register_class in CLASSES:
+        plan = build_custom_plan(
+            f"class-{register_class.value}",
+            InjectionTarget.nonroot_cpu_trap(),
+            trigger_factory=lambda: EveryNCalls(50),
+            fault_model_factory=lambda rc=register_class: RegisterClassBitFlip(rc),
+            num_tests=tests,
+            duration=30.0,
+            base_seed=6000,
+            intensity=f"class:{register_class.value}",
+        )
+        campaigns[register_class.value] = run_campaign(plan)
+    return campaigns
+
+
+def test_register_class_ablation(benchmark):
+    campaigns = benchmark.pedantic(_run, rounds=1, iterations=1)
+    distributions = {
+        name: outcome_distribution(records_of(result))
+        for name, result in campaigns.items()
+    }
+    report = format_comparison(
+        distributions,
+        title="A3: outcome shares per corrupted register class "
+              "(1/50 calls, non-root trap handler)",
+    )
+    save_and_print("a3_register_classes", report)
+
+    gpr = distributions[RegisterClass.GENERAL_PURPOSE.value]
+    pc = distributions[RegisterClass.PROGRAM_COUNTER.value]
+    sp = distributions[RegisterClass.STACK_POINTER.value]
+    # Shape checks (the causal story behind Figure 3):
+    # 1. general-purpose corruption is overwhelmingly benign;
+    assert gpr.fraction(Outcome.CORRECT) >= 0.8
+    # 2. program-counter corruption is the panic-park driver;
+    assert pc.fraction(Outcome.PANIC_PARK) > gpr.fraction(Outcome.PANIC_PARK)
+    assert pc.fraction(Outcome.PANIC_PARK) >= 0.3
+    # 3. stack-pointer corruption is the main source of the 0x24 CPU park and
+    #    parks more than it panics.
+    assert sp.fraction(Outcome.CPU_PARK) >= pc.fraction(Outcome.CPU_PARK)
+    assert sp.fraction(Outcome.CPU_PARK) > sp.fraction(Outcome.PANIC_PARK)

@@ -1,0 +1,58 @@
+"""A5 (ablation) — how many tests the Figure-3 shares need to stabilize.
+
+The paper showcases preliminary results; a certification-grade campaign needs
+enough tests for the outcome shares to carry tight confidence intervals. This
+ablation runs one larger medium-intensity campaign and reports the running
+estimate of the correct / panic-park shares (with Wilson intervals) after
+increasing numbers of tests, plus the sample size required for a ±5-point
+estimate of the ~30 % panic share.
+"""
+
+from __future__ import annotations
+
+from _common import records_of, run_campaign, save_and_print, scaled
+
+from repro.analysis.figures import ascii_series_table
+from repro.analysis.stats import required_sample_size
+from repro.core.analysis import convergence_curve, outcome_distribution
+from repro.core.outcomes import Outcome
+from repro.core.plan import paper_figure3_plan
+
+CHECKPOINTS = (10, 20, 40, 60, 80, 120)
+
+
+def _run():
+    plan = paper_figure3_plan(num_tests=scaled(60, minimum=20), duration=30.0,
+                              base_seed=8000)
+    return run_campaign(plan)
+
+
+def test_campaign_convergence(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    records = records_of(result)
+
+    rows = []
+    for outcome in (Outcome.CORRECT, Outcome.PANIC_PARK):
+        for n, fraction, low, high in convergence_curve(records, outcome, CHECKPOINTS):
+            if n == 0:
+                continue
+            rows.append((outcome.value, n, fraction, high - low))
+    table = ascii_series_table(
+        rows, headers=["outcome", "tests", "running share", "CI width"]
+    )
+    sizing = required_sample_size(0.30, 0.05)
+    report = (
+        "A5: convergence of the Figure-3 shares with campaign size\n"
+        + table
+        + f"\n\ntests needed to estimate a 30% share within +/-5 points: {sizing}"
+        + f"\n(this campaign ran {len(records)} tests of 30 s each)"
+    )
+    save_and_print("a5_campaign_convergence", report)
+
+    distribution = outcome_distribution(records)
+    # Shape checks: intervals tighten as the campaign grows, and the final
+    # distribution keeps the Figure-3 ordering.
+    correct_widths = [row[3] for row in rows if row[0] == Outcome.CORRECT.value]
+    assert correct_widths[-1] <= correct_widths[0]
+    assert distribution.fraction(Outcome.CORRECT) > distribution.fraction(Outcome.PANIC_PARK)
+    assert 300 <= sizing <= 340

@@ -1,0 +1,60 @@
+"""E3 — high-intensity faults filtered to the non-root cell's CPU.
+
+Paper setup: multi-register bit flips once every 50 calls, activated only when
+CPU core 1 (the non-root cell's core) calls the handlers, while the cell is
+created and started. Paper result ("pretty peculiar, although wrong and
+inconsistent"): the cell is allocated, Jailhouse reports it running, but the
+CPU fails to come online (or the cell is left non-executable) and the USART
+output stays completely blank; shutting the cell down still returns the CPU
+and peripherals to the root cell.
+"""
+
+from __future__ import annotations
+
+from _common import records_of, run_campaign, save_and_print, scaled
+
+from repro.core.analysis import outcome_distribution
+from repro.core.outcomes import Outcome
+from repro.core.plan import paper_high_intensity_nonroot_plan
+from repro.core.report import format_distribution
+
+
+def _run():
+    plan = paper_high_intensity_nonroot_plan(num_tests=scaled(30, minimum=10),
+                                             duration=15.0, base_seed=2000)
+    return run_campaign(plan)
+
+
+def test_high_intensity_nonroot_inconsistent_state(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    records = records_of(result)
+    distribution = outcome_distribution(records)
+
+    inconsistent = result.results_with_outcome(Outcome.INCONSISTENT_STATE)
+    blank_usart = sum(1 for entry in inconsistent if entry.target_cell_lines == 0)
+    lines = [
+        "E3: high intensity, non-root CPU filter, cell lifecycle under fault",
+        "--------------------------------------------------------------------",
+        f"tests: {len(records)}",
+        f"inconsistent states (allocated + reported running, no output): "
+        f"{len(inconsistent)}",
+        f"  of which with a completely blank USART: {blank_usart}",
+        "",
+        format_distribution(distribution, title="outcome distribution"),
+    ]
+    save_and_print("e3_high_nonroot", "\n".join(lines))
+
+    # Shape checks against the paper's description:
+    # 1. the characteristic outcome of this campaign is the inconsistent
+    #    allocated-but-dead cell, and it dominates the distribution;
+    assert distribution.count(Outcome.INCONSISTENT_STATE) >= len(records) * 0.4
+    assert distribution.dominant() is Outcome.INCONSISTENT_STATE
+    # 2. in every such test the cell was created and started "successfully"
+    #    yet produced no serial output at all;
+    for entry in inconsistent:
+        assert entry.management is not None
+        assert entry.management.create_succeeded and entry.management.start_succeeded
+        assert entry.target_cell_lines == 0
+    # 3. the root-cell invalid-arguments finding does not appear here (the
+    #    management hypercalls run on CPU 0, outside the filter).
+    assert distribution.count(Outcome.INVALID_ARGUMENTS) == 0

@@ -1,0 +1,57 @@
+"""E1 / Figure 3 — non-root cell availability in medium-intensity tests.
+
+Paper setup: single-register bit flips, once every 100 calls to
+``arch_handle_trap()``, filtered to the non-root cell's CPU, one-minute tests.
+Paper result (Figure 3): the cell behaves correctly in the majority of cases,
+~30 % of tests end in a *panic park* (the fault propagates to a whole-system
+kernel panic), and a limited number end in a *CPU park* (unhandled trap 0x24,
+contained to the cell).
+"""
+
+from __future__ import annotations
+
+from _common import (
+    PAPER_FIGURE3_REFERENCE,
+    records_of,
+    run_campaign,
+    save_and_print,
+    scaled,
+)
+
+from repro.core.analysis import availability_breakdown
+from repro.core.outcomes import Outcome
+from repro.core.plan import paper_figure3_plan
+from repro.core.report import format_figure3
+
+
+def _run():
+    plan = paper_figure3_plan(num_tests=scaled(80, minimum=20), duration=60.0,
+                              base_seed=0)
+    return run_campaign(plan)
+
+
+def test_figure3_medium_intensity_nonroot_trap(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    records = records_of(result)
+    report = format_figure3(records, paper_reference=PAPER_FIGURE3_REFERENCE)
+    save_and_print("fig3_medium_nonroot_trap", report)
+
+    breakdown = availability_breakdown(records)
+    counts = result.outcome_counts()
+
+    # Shape checks against the paper's Figure 3:
+    # 1. the majority of tests are correct;
+    assert breakdown["correct"] >= 0.45
+    assert counts[Outcome.CORRECT] == max(counts.values())
+    # 2. the dominant failure mode is the whole-system panic park, at a share
+    #    broadly comparable to the paper's ~30 %;
+    assert 0.10 <= breakdown["panic_park"] <= 0.50
+    assert counts[Outcome.PANIC_PARK] > counts[Outcome.CPU_PARK]
+    # 3. CPU parks exist but are a clear minority ("a limited number of tests");
+    assert breakdown["cpu_park"] <= 0.20
+    # 4. medium intensity on the running cell never produces the management
+    #    findings (those belong to the high-intensity campaigns).
+    assert counts[Outcome.INVALID_ARGUMENTS] == 0
+    assert counts[Outcome.INCONSISTENT_STATE] == 0
+    # 5. every test actually injected faults.
+    assert all(entry.injections > 0 for entry in result.results)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Inter-cell communication over the ivshmem shared-memory channel.
+
+Partitioning does not mean the cells cannot cooperate: Jailhouse provides the
+``ivshmem`` device (shared memory window plus doorbell interrupt) for
+controlled communication. This example sends messages from the root cell to
+the FreeRTOS cell and back, and shows that the traffic flows through the
+channel while memory isolation between the cells stays intact.
+
+Run with::
+
+    python examples/intercell_communication.py
+"""
+
+from __future__ import annotations
+
+from repro.core.sut import JailhouseSUT, SutConfig
+from repro.errors import IsolationViolationError
+
+
+def main() -> None:
+    sut = JailhouseSUT(SutConfig(seed=7))
+    sut.setup()
+    sut.perform_cell_lifecycle()
+
+    channel = sut.hypervisor.ivshmem_channels[0]
+    root_name = sut.config.root_cell_name
+    inmate_name = sut.config.inmate_cell_name
+    print(f"ivshmem channel: {channel.name} (doorbell IRQ {channel.doorbell_irq})")
+    print()
+
+    # Root -> FreeRTOS: the doorbell wakes the cell, which drains the message
+    # into its local 'rx' queue.
+    print("sending 5 commands from the root cell ...")
+    for index in range(5):
+        channel.send(root_name, f"set-speed {40 + index}".encode())
+    sut.run(1.0)
+    rx = sut.freertos.queues["rx"]
+    print(f"  FreeRTOS 'rx' queue received: {rx.received} messages")
+
+    # FreeRTOS -> root: the sender task pushes telemetry continuously.
+    print("running the workload; the FreeRTOS sender task emits telemetry ...")
+    sut.run(3.0)
+    pending = channel.pending(root_name)
+    print(f"  messages waiting for the root cell: {pending}")
+    sample = channel.receive(root_name)
+    if sample is not None:
+        print(f"  first telemetry message: {sample.payload!r} "
+              f"(sequence {sample.sequence})")
+
+    # Isolation is still enforced: the FreeRTOS cell cannot touch root memory
+    # outside the shared window.
+    print()
+    print("checking that isolation still holds outside the shared window ...")
+    freertos_cell = sut.hypervisor.cell_by_name(inmate_name)
+    try:
+        freertos_cell.memory_map.translate(0x4000_0000)   # root cell RAM
+    except IsolationViolationError as error:
+        print(f"  stage-2 fault, as expected: {error}")
+    shared = freertos_cell.memory_map.find_by_name("ivshmem")
+    print(f"  shared window is reachable: guest 0x{shared.virt_start:08x} -> "
+          f"host 0x{shared.translate(shared.virt_start):08x}")
+
+    print()
+    print(f"channel statistics: dropped={channel.dropped}, "
+          f"pending-to-root={channel.pending(root_name)}, "
+          f"pending-to-inmate={channel.pending(inmate_name)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Compare isolation across hypervisor designs under identical fault load.
+
+The paper motivates static partitioning hypervisors (Jailhouse, Bao, PikeOS,
+VOSYSmonitor) as the way to consolidate mixed-criticality functions safely.
+This example runs the same medium-intensity campaign against three systems:
+
+* the Jailhouse model assessed by the paper,
+* a Bao-like baseline whose containment policy never lets a guest fault
+  propagate beyond its cell, and
+* a no-partitioning baseline where any unhandled fault takes everything down,
+
+and prints per-system outcome distributions plus the isolation metrics the
+SEooC assessment uses.
+
+Run with::
+
+    python examples/isolation_comparison.py [num_tests_per_system]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.baselines import bao_sut_factory, no_isolation_sut_factory
+from repro.core.analysis import outcome_distribution
+from repro.core.campaign import Campaign
+from repro.core.experiment import default_sut_factory
+from repro.core.plan import IntensityLevel, build_intensity_plan
+from repro.core.report import format_comparison
+from repro.core.targets import InjectionTarget
+from repro.safety.metrics import compare_metrics, compute_isolation_metrics
+
+
+SYSTEMS = {
+    "jailhouse": default_sut_factory,
+    "bao-like": bao_sut_factory,
+    "no-isolation": no_isolation_sut_factory,
+}
+
+
+def main(num_tests: int = 15) -> None:
+    distributions = {}
+    metrics = {}
+    for name, factory in SYSTEMS.items():
+        plan = build_intensity_plan(
+            IntensityLevel.MEDIUM,
+            InjectionTarget.nonroot_cpu_trap(),
+            num_tests=num_tests,
+            duration=30.0,
+            base_seed=4000,
+            name=f"comparison-{name}",
+        )
+        print(f"running {len(plan)} tests against {name!r} ...")
+        result = Campaign(plan, sut_factory=factory).run()
+        records = result.to_records()
+        distributions[name] = outcome_distribution(records)
+        metrics[name] = compute_isolation_metrics(records)
+
+    print()
+    print(format_comparison(distributions,
+                            title="Outcome distribution per system"))
+    print()
+    print("Isolation metrics (used by the SEooC assessment)")
+    print(compare_metrics(metrics))
+    print()
+    print("Reading: the Bao-like containment policy converts the whole-system")
+    print("panic parks observed on Jailhouse into contained cell failures,")
+    print("while removing partitioning altogether makes every unhandled fault")
+    print("a common-cause failure.")
+
+
+if __name__ == "__main__":
+    tests = int(sys.argv[1]) if len(sys.argv) > 1 else 15
+    main(tests)

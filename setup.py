@@ -1,0 +1,10 @@
+"""Compatibility shim for environments without the ``wheel`` package.
+
+All metadata lives in ``pyproject.toml``; this file only enables legacy
+editable installs (``pip install -e . --no-use-pep517``) on offline machines
+that cannot build PEP 517 wheels.
+"""
+
+from setuptools import setup
+
+setup()

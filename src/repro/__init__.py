@@ -1,0 +1,75 @@
+"""repro — fault-injection assessment of a partitioning hypervisor.
+
+Reproduction of "Certify the Uncertified: Towards Assessment of Virtualization
+for Mixed-criticality in the Automotive Domain" (Cinque, De Simone, Marchetta —
+DSN 2022). The package contains:
+
+* :mod:`repro.hw` — a behavioural model of the Banana Pi testbed;
+* :mod:`repro.hypervisor` — a Jailhouse-like static partitioning hypervisor
+  with the three hookable entry points the paper profiles;
+* :mod:`repro.guests` — Linux root-cell and FreeRTOS non-root-cell models
+  running the paper's workload;
+* :mod:`repro.core` — the fault-injection framework itself (fault models,
+  triggers, targets, injector, monitors, outcome classification, campaign
+  orchestration, analysis, reporting);
+* :mod:`repro.safety` — the ISO 26262 / SEooC assessment layer;
+* :mod:`repro.baselines` — Bao-like and no-isolation comparison systems;
+* :mod:`repro.analysis` — statistics and ASCII figure rendering.
+
+Quickstart::
+
+    from repro import quick_campaign
+    result = quick_campaign(num_tests=10, duration=10.0)
+    print(result.outcome_counts())
+"""
+
+from __future__ import annotations
+
+from repro.core.campaign import Campaign, CampaignResult
+from repro.core.experiment import Experiment, ExperimentResult, ExperimentSpec, Scenario
+from repro.core.faultmodels import MultiRegisterBitFlip, SingleBitFlip
+from repro.core.injection import FaultInjector
+from repro.core.outcomes import Outcome, OutcomeClassifier
+from repro.core.plan import IntensityLevel, TestPlan, build_intensity_plan, paper_figure3_plan
+from repro.core.sut import JailhouseSUT, SutConfig
+from repro.core.targets import InjectionTarget
+from repro.core.triggers import EveryNCalls, ProbabilisticTrigger
+from repro.safety.evidence import build_evidence_report
+from repro.safety.seooc import SeoocAssessment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "EveryNCalls",
+    "Experiment",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "FaultInjector",
+    "InjectionTarget",
+    "IntensityLevel",
+    "JailhouseSUT",
+    "MultiRegisterBitFlip",
+    "Outcome",
+    "OutcomeClassifier",
+    "ProbabilisticTrigger",
+    "Scenario",
+    "SeoocAssessment",
+    "SingleBitFlip",
+    "SutConfig",
+    "TestPlan",
+    "build_evidence_report",
+    "build_intensity_plan",
+    "paper_figure3_plan",
+    "quick_campaign",
+    "__version__",
+]
+
+
+def quick_campaign(*, num_tests: int = 10, duration: float = 10.0,
+                   base_seed: int = 0) -> CampaignResult:
+    """Run a small Figure-3-style campaign (for demos and smoke tests)."""
+    plan = paper_figure3_plan(num_tests=num_tests, duration=duration,
+                              base_seed=base_seed)
+    return Campaign(plan).run()

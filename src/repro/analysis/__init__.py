@@ -1,0 +1,16 @@
+"""Statistical helpers and figure rendering shared by benches and reports."""
+
+from repro.analysis.stats import (
+    proportion_confidence_interval,
+    required_sample_size,
+    summarize_proportion,
+)
+from repro.analysis.figures import ascii_bar_chart, ascii_pie_summary
+
+__all__ = [
+    "ascii_bar_chart",
+    "ascii_pie_summary",
+    "proportion_confidence_interval",
+    "required_sample_size",
+    "summarize_proportion",
+]

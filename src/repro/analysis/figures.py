@@ -1,0 +1,68 @@
+"""ASCII rendering of figures.
+
+The benchmarks regenerate the paper's figure as text: a labelled bar chart
+(and a one-line "pie" summary) that can be printed by pytest-benchmark runs
+and diffed between revisions.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Tuple
+
+from repro.errors import AnalysisError
+
+DEFAULT_WIDTH = 50
+
+
+def ascii_bar_chart(data: Mapping[str, float], *, width: int = DEFAULT_WIDTH,
+                    title: str = "", unit: str = "%") -> str:
+    """Render a mapping of label -> fraction (0..1) as a horizontal bar chart."""
+    if width <= 0:
+        raise AnalysisError("chart width must be positive")
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    if not data:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    label_width = max(len(label) for label in data)
+    for label, fraction in data.items():
+        clamped = max(0.0, min(1.0, float(fraction)))
+        filled = int(round(clamped * width))
+        bar = "#" * filled + "." * (width - filled)
+        lines.append(f"{label:<{label_width}} |{bar}| {clamped * 100:5.1f}{unit}")
+    return "\n".join(lines)
+
+
+def ascii_pie_summary(data: Mapping[str, float]) -> str:
+    """One-line share summary, largest first (a textual pie chart)."""
+    if not data:
+        return "(no data)"
+    parts = sorted(data.items(), key=lambda item: -item[1])
+    return " | ".join(f"{label} {fraction * 100:.1f}%" for label, fraction in parts)
+
+
+def ascii_series_table(rows: Sequence[Tuple[object, ...]],
+                       headers: Sequence[str]) -> str:
+    """Render a small table (used by sweep benches)."""
+    if not headers:
+        raise AnalysisError("a table needs headers")
+    widths = [len(header) for header in headers]
+    text_rows = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise AnalysisError("row width does not match headers")
+        text_row = [
+            f"{value:.3f}" if isinstance(value, float) else str(value)
+            for value in row
+        ]
+        widths = [max(width, len(text)) for width, text in zip(widths, text_row)]
+        text_rows.append(text_row)
+    header_line = "  ".join(f"{header:<{width}}" for header, width in zip(headers, widths))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(f"{text:<{width}}" for text, width in zip(row, widths))
+        for row in text_rows
+    ]
+    return "\n".join([header_line, separator] + body)

@@ -1,0 +1,83 @@
+"""Statistics for fault-injection campaigns.
+
+Fault-injection outcomes are Bernoulli observations, so everything the
+reports need reduces to proportions and their confidence intervals. Wilson
+score intervals are used because campaign sizes are modest (tens to a few
+hundred tests) and several outcome classes are rare, where the normal
+approximation misbehaves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import AnalysisError
+
+#: z value for a 95% two-sided interval.
+Z_95 = 1.959963984540054
+
+
+def proportion_confidence_interval(successes: int, total: int,
+                                   *, z: float = Z_95) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    if total < 0 or successes < 0:
+        raise AnalysisError("counts must be non-negative")
+    if successes > total:
+        raise AnalysisError(f"successes ({successes}) exceed total ({total})")
+    if total == 0:
+        return (0.0, 0.0)
+    p = successes / total
+    denominator = 1.0 + z * z / total
+    centre = (p + z * z / (2 * total)) / denominator
+    margin = (z / denominator) * math.sqrt(
+        p * (1.0 - p) / total + z * z / (4.0 * total * total)
+    )
+    return (max(0.0, centre - margin), min(1.0, centre + margin))
+
+
+@dataclass(frozen=True)
+class ProportionSummary:
+    """A proportion with its confidence interval."""
+
+    successes: int
+    total: int
+    fraction: float
+    ci_low: float
+    ci_high: float
+
+    @property
+    def ci_width(self) -> float:
+        return self.ci_high - self.ci_low
+
+    def describe(self) -> str:
+        return (
+            f"{self.successes}/{self.total} = {self.fraction * 100:.1f}% "
+            f"[{self.ci_low * 100:.1f}%, {self.ci_high * 100:.1f}%]"
+        )
+
+
+def summarize_proportion(successes: int, total: int) -> ProportionSummary:
+    """Build a :class:`ProportionSummary` with a 95% Wilson interval."""
+    low, high = proportion_confidence_interval(successes, total)
+    fraction = successes / total if total else 0.0
+    return ProportionSummary(
+        successes=successes, total=total, fraction=fraction,
+        ci_low=low, ci_high=high,
+    )
+
+
+def required_sample_size(expected_fraction: float, margin: float,
+                         *, z: float = Z_95) -> int:
+    """Sample size needed to estimate a proportion within ``margin``.
+
+    Useful for sizing campaigns: the paper's Figure 3 reports a ~30% panic
+    share; estimating it within ±5 points needs roughly 320 tests.
+    """
+    if not 0.0 < expected_fraction < 1.0:
+        raise AnalysisError("expected_fraction must be strictly between 0 and 1")
+    if margin <= 0:
+        raise AnalysisError("margin must be positive")
+    n = (z * z * expected_fraction * (1.0 - expected_fraction)) / (margin * margin)
+    return int(math.ceil(n))

@@ -1,0 +1,22 @@
+"""Comparison baselines for the hypervisor-comparison ablation.
+
+The paper's related-work section surveys alternative partitioning solutions
+(Bao, PikeOS, VOSYSmonitor) and motivates partitioning in the first place.
+These baselines make that comparison measurable with the same campaigns used
+against the Jailhouse model:
+
+* :class:`BaoLikeSUT` — a static partitioning hypervisor with a stricter
+  containment policy: unrecoverable guest faults kill only the offending cell.
+* :class:`NoIsolationSUT` — consolidation without partitioning: the same
+  workload, but any unhandled fault takes the shared kernel down.
+"""
+
+from repro.baselines.bao import BaoLikeSUT, bao_sut_factory
+from repro.baselines.nohv import NoIsolationSUT, no_isolation_sut_factory
+
+__all__ = [
+    "BaoLikeSUT",
+    "NoIsolationSUT",
+    "bao_sut_factory",
+    "no_isolation_sut_factory",
+]

@@ -1,0 +1,36 @@
+"""No-partitioning baseline.
+
+The alternative the paper's introduction motivates against: consolidating the
+safety-critical RTOS and the infotainment OS on the same SoC *without* a
+partitioning hypervisor. The workload is identical to the Jailhouse system
+under test, but there is no containment at all — an unhandled fault anywhere
+takes the shared kernel (and with it every function) down.
+
+This is modeled by keeping the same execution machinery and removing the
+containment reactions: what would have been a CPU park under Jailhouse
+escalates to a whole-system failure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.sut import JailhouseSUT, SutConfig, SystemUnderTest
+from repro.hypervisor.cli import JailhouseCli
+from repro.hypervisor.core import Hypervisor
+
+
+class NoIsolationSUT(JailhouseSUT):
+    """Consolidation without a partitioning hypervisor."""
+
+    name = "no-isolation"
+
+    def __init__(self, config: Optional[SutConfig] = None) -> None:
+        super().__init__(config)
+        self.hypervisor = Hypervisor(self.board, escalate_parks_to_panic=True)
+        self.cli = JailhouseCli(self.hypervisor)
+
+
+def no_isolation_sut_factory(seed: int) -> SystemUnderTest:
+    """SUT factory for campaigns against the no-isolation baseline."""
+    return NoIsolationSUT(SutConfig(seed=seed))

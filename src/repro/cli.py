@@ -1,0 +1,206 @@
+"""Command-line front-end for the fault-injection framework.
+
+Provides the day-to-day workflows as subcommands so a user can drive the
+reproduction without writing Python:
+
+* ``repro-fi golden``    — profile a fault-free run (handler call counts, output rates);
+* ``repro-fi fig3``      — run the paper's medium-intensity Figure-3 campaign;
+* ``repro-fi campaign``  — run a custom campaign (target, intensity, scenario, size);
+* ``repro-fi report``    — re-render reports from a saved ``.jsonl`` record file;
+* ``repro-fi seooc``     — build the ISO 26262 SEooC evidence report from one or
+  more saved campaigns.
+
+Every campaign can persist its records with ``--output records.jsonl`` so the
+slow part (running experiments) is decoupled from analysis and reporting, the
+same way the paper separates test execution from log analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.core.campaign import Campaign
+from repro.core.experiment import Scenario
+from repro.core.plan import (
+    IntensityLevel,
+    build_intensity_plan,
+    paper_figure3_plan,
+    paper_high_intensity_nonroot_plan,
+    paper_high_intensity_root_plan,
+)
+from repro.core.recording import RecordStore
+from repro.core.report import (
+    format_campaign_summary,
+    format_distribution,
+    format_figure3,
+    format_management_report,
+)
+from repro.core.analysis import outcome_distribution
+from repro.core.targets import InjectionTarget
+from repro.hypervisor.handlers import ALL_HANDLERS
+from repro.safety.evidence import build_evidence_report
+
+#: Figure-3 reference shares used for side-by-side reporting.
+PAPER_FIGURE3 = {"correct": 0.63, "panic_park": 0.30, "cpu_park": 0.07}
+
+
+def _build_target(handler: str, cpu: Optional[int]) -> InjectionTarget:
+    cpus = None if cpu is None else {cpu}
+    if handler == "all":
+        return InjectionTarget(handlers=tuple(ALL_HANDLERS),
+                               cpu_filter=frozenset(cpus) if cpus else None)
+    return InjectionTarget(handlers=(handler,),
+                           cpu_filter=frozenset(cpus) if cpus else None)
+
+
+def _save_records(result, output: Optional[str]) -> None:
+    if output:
+        count = result.save(output)
+        print(f"saved {count} records to {output}")
+
+
+def _progress(done: int, total: int, result) -> None:
+    print(f"  [{done:>4}/{total}] {result.outcome.value:<20} "
+          f"({result.injections} injections)")
+
+
+def cmd_golden(args: argparse.Namespace) -> int:
+    plan = paper_figure3_plan(num_tests=1, duration=1.0)
+    golden = Campaign(plan).golden_run(duration=args.duration, seed=args.seed)
+    print("golden (fault-free) run")
+    print(f"  duration          : {golden.duration:.0f} s")
+    print(f"  outcome           : {golden.outcome.value}")
+    print(f"  handler calls     : {golden.handler_calls}")
+    print(f"  non-root cell out : {golden.target_cell_lines} lines")
+    print(f"  root cell output  : {golden.root_cell_lines} lines")
+    return 0 if golden.healthy else 1
+
+
+def cmd_fig3(args: argparse.Namespace) -> int:
+    plan = paper_figure3_plan(num_tests=args.tests, duration=args.duration,
+                              base_seed=args.seed)
+    result = Campaign(plan).run(progress=_progress if args.verbose else None)
+    print(format_figure3(result.to_records(), paper_reference=PAPER_FIGURE3))
+    _save_records(result, args.output)
+    return 0
+
+
+_SCENARIOS = {
+    "steady-state": Scenario.STEADY_STATE,
+    "lifecycle": Scenario.LIFECYCLE_UNDER_FAULT,
+    "repeated-lifecycle": Scenario.REPEATED_LIFECYCLE,
+}
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    intensity = IntensityLevel(args.intensity)
+    target = _build_target(args.handler, args.cpu)
+    plan = build_intensity_plan(
+        intensity, target,
+        num_tests=args.tests,
+        scenario=_SCENARIOS[args.scenario],
+        duration=args.duration,
+        base_seed=args.seed,
+        name=args.name or f"cli-{intensity.value}-{target.describe()}",
+    )
+    result = Campaign(plan).run(progress=_progress if args.verbose else None)
+    print(format_campaign_summary(result))
+    _save_records(result, args.output)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    records = RecordStore(args.records).load()
+    if not records:
+        print(f"no records found in {args.records}", file=sys.stderr)
+        return 1
+    if args.style == "figure3":
+        print(format_figure3(records, paper_reference=PAPER_FIGURE3))
+    elif args.style == "management":
+        print(format_management_report(records, title=f"records: {args.records}"))
+    else:
+        print(format_distribution(outcome_distribution(records),
+                                  title=f"records: {args.records}"))
+    return 0
+
+
+def cmd_seooc(args: argparse.Namespace) -> int:
+    records_by_campaign = {}
+    for path in args.records:
+        records = RecordStore(path).load()
+        if records:
+            records_by_campaign[Path(path).stem] = records
+    if not records_by_campaign:
+        print("none of the given files contained records", file=sys.stderr)
+        return 1
+    report = build_evidence_report(records_by_campaign)
+    print(report.render())
+    return 0 if report.certification_ready else 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fi",
+        description="Fault-injection assessment of a partitioning hypervisor "
+                    "(reproduction of Cinque et al., DSN 2022)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    golden = sub.add_parser("golden", help="profile a fault-free run")
+    golden.add_argument("--duration", type=float, default=20.0)
+    golden.add_argument("--seed", type=int, default=999_983)
+    golden.set_defaults(func=cmd_golden)
+
+    fig3 = sub.add_parser("fig3", help="run the paper's Figure-3 campaign")
+    fig3.add_argument("--tests", type=int, default=40)
+    fig3.add_argument("--duration", type=float, default=60.0)
+    fig3.add_argument("--seed", type=int, default=0)
+    fig3.add_argument("--output", help="write records to this .jsonl file")
+    fig3.add_argument("--verbose", action="store_true")
+    fig3.set_defaults(func=cmd_fig3)
+
+    campaign = sub.add_parser("campaign", help="run a custom campaign")
+    campaign.add_argument("--intensity", choices=["medium", "high"],
+                          default="medium")
+    campaign.add_argument("--handler",
+                          choices=list(ALL_HANDLERS) + ["all"],
+                          default="arch_handle_trap")
+    campaign.add_argument("--cpu", type=int, default=1,
+                          help="CPU filter (omit with --cpu -1 for no filter)")
+    campaign.add_argument("--scenario", choices=sorted(_SCENARIOS),
+                          default="steady-state")
+    campaign.add_argument("--tests", type=int, default=20)
+    campaign.add_argument("--duration", type=float, default=30.0)
+    campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument("--name")
+    campaign.add_argument("--output", help="write records to this .jsonl file")
+    campaign.add_argument("--verbose", action="store_true")
+    campaign.set_defaults(func=cmd_campaign)
+
+    report = sub.add_parser("report", help="render reports from saved records")
+    report.add_argument("records", help="path to a .jsonl record file")
+    report.add_argument("--style", choices=["distribution", "figure3", "management"],
+                        default="distribution")
+    report.set_defaults(func=cmd_report)
+
+    seooc = sub.add_parser("seooc", help="build the SEooC evidence report")
+    seooc.add_argument("records", nargs="+",
+                       help="one or more .jsonl record files (one per campaign)")
+    seooc.set_defaults(func=cmd_seooc)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "campaign" and args.cpu is not None and args.cpu < 0:
+        args.cpu = None
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests of main()
+    sys.exit(main())

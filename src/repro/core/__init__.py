@@ -1,0 +1,61 @@
+"""Fault-injection framework (the paper's primary contribution).
+
+The framework orchestrates fault-injection campaigns against a system under
+test: it decides *what* to corrupt (:mod:`faultmodels`), *when*
+(:mod:`triggers`), *where* (:mod:`targets`), installs the corruption as an
+entry hook on the hypervisor's handlers (:mod:`injection`), observes the
+system (:mod:`monitors`), classifies each test's outcome (:mod:`outcomes`),
+and aggregates results (:mod:`campaign`, :mod:`analysis`, :mod:`report`).
+"""
+
+from repro.core.campaign import Campaign, CampaignResult
+from repro.core.experiment import Experiment, ExperimentResult, ExperimentSpec, Scenario
+from repro.core.faultmodels import (
+    AppliedFault,
+    FaultModel,
+    MultiRegisterBitFlip,
+    RegisterClassBitFlip,
+    SingleBitFlip,
+)
+from repro.core.injection import FaultInjector, InjectionRecord
+from repro.core.monitors import AvailabilityMonitor, AvailabilityReport
+from repro.core.outcomes import Outcome, OutcomeClassifier, OutcomeEvidence
+from repro.core.plan import IntensityLevel, TestPlan, build_intensity_plan
+from repro.core.recording import ExperimentRecord, RecordStore
+from repro.core.sut import JailhouseSUT, SutConfig, SystemUnderTest
+from repro.core.targets import InjectionTarget
+from repro.core.triggers import EveryNCalls, OneShotAtCall, ProbabilisticTrigger, Trigger
+
+__all__ = [
+    "AppliedFault",
+    "AvailabilityMonitor",
+    "AvailabilityReport",
+    "Campaign",
+    "CampaignResult",
+    "EveryNCalls",
+    "Experiment",
+    "ExperimentRecord",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "FaultInjector",
+    "FaultModel",
+    "InjectionRecord",
+    "InjectionTarget",
+    "IntensityLevel",
+    "JailhouseSUT",
+    "MultiRegisterBitFlip",
+    "OneShotAtCall",
+    "Outcome",
+    "OutcomeClassifier",
+    "OutcomeEvidence",
+    "ProbabilisticTrigger",
+    "RecordStore",
+    "RegisterClassBitFlip",
+    "Scenario",
+    "SingleBitFlip",
+    "SutConfig",
+    "SystemUnderTest",
+    "TestPlan",
+    "Trigger",
+    "build_intensity_plan",
+]

@@ -1,0 +1,196 @@
+"""Campaign analytics.
+
+Turns raw experiment records into the quantities reported by the paper:
+per-outcome distributions (Figure 3), conditional statistics on corrupted
+management calls (the high-intensity findings), per-register-class and
+per-target breakdowns (ablations), and simple convergence diagnostics.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.stats import proportion_confidence_interval
+from repro.core.outcomes import Outcome
+from repro.core.recording import ExperimentRecord
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class OutcomeShare:
+    """Share of one outcome within a set of experiments."""
+
+    outcome: Outcome
+    count: int
+    fraction: float
+    ci_low: float
+    ci_high: float
+
+
+@dataclass
+class DistributionSummary:
+    """Per-outcome distribution with confidence intervals."""
+
+    total: int
+    shares: Dict[Outcome, OutcomeShare] = field(default_factory=dict)
+
+    def fraction(self, outcome: Outcome) -> float:
+        share = self.shares.get(outcome)
+        return share.fraction if share is not None else 0.0
+
+    def count(self, outcome: Outcome) -> int:
+        share = self.shares.get(outcome)
+        return share.count if share is not None else 0
+
+    def dominant(self) -> Outcome:
+        if not self.shares:
+            raise AnalysisError("cannot compute the dominant outcome of an empty set")
+        return max(self.shares.values(), key=lambda share: share.count).outcome
+
+
+def _to_outcomes(records: Iterable[ExperimentRecord]) -> List[Outcome]:
+    return [record.outcome_enum for record in records]
+
+
+def outcome_distribution(records: Sequence[ExperimentRecord]) -> DistributionSummary:
+    """Compute the per-outcome distribution over a set of records."""
+    outcomes = _to_outcomes(records)
+    total = len(outcomes)
+    summary = DistributionSummary(total=total)
+    if total == 0:
+        return summary
+    for outcome in Outcome:
+        count = sum(1 for value in outcomes if value is outcome)
+        low, high = proportion_confidence_interval(count, total)
+        summary.shares[outcome] = OutcomeShare(
+            outcome=outcome,
+            count=count,
+            fraction=count / total,
+            ci_low=low,
+            ci_high=high,
+        )
+    return summary
+
+
+def availability_breakdown(records: Sequence[ExperimentRecord]) -> Dict[str, float]:
+    """Figure-3 style availability shares: correct / panic park / cpu park / other."""
+    total = len(records)
+    if total == 0:
+        return {"correct": 0.0, "panic_park": 0.0, "cpu_park": 0.0, "other": 0.0}
+    counts = defaultdict(int)
+    for record in records:
+        outcome = record.outcome_enum
+        if outcome is Outcome.CORRECT:
+            counts["correct"] += 1
+        elif outcome is Outcome.PANIC_PARK:
+            counts["panic_park"] += 1
+        elif outcome is Outcome.CPU_PARK:
+            counts["cpu_park"] += 1
+        else:
+            counts["other"] += 1
+    return {key: counts[key] / total
+            for key in ("correct", "panic_park", "cpu_park", "other")}
+
+
+def group_by(records: Sequence[ExperimentRecord],
+             key: str) -> Dict[str, List[ExperimentRecord]]:
+    """Group records by one of their string attributes (target, intensity, ...)."""
+    if records and not hasattr(records[0], key):
+        raise AnalysisError(f"records have no attribute {key!r}")
+    grouped: Dict[str, List[ExperimentRecord]] = defaultdict(list)
+    for record in records:
+        grouped[str(getattr(record, key))].append(record)
+    return dict(grouped)
+
+
+def grouped_distributions(records: Sequence[ExperimentRecord],
+                          key: str) -> Dict[str, DistributionSummary]:
+    """Per-group outcome distributions (used by the ablation benches)."""
+    return {
+        group: outcome_distribution(group_records)
+        for group, group_records in group_by(records, key).items()
+    }
+
+
+@dataclass(frozen=True)
+class ManagementSummary:
+    """Conditional statistics for the high-intensity management experiments."""
+
+    total: int
+    create_attempts: int
+    create_rejections: int
+    rejected_and_not_allocated: int
+    inconsistent_states: int
+    panics: int
+
+    @property
+    def rejection_rate(self) -> float:
+        if self.create_attempts == 0:
+            return 0.0
+        return self.create_rejections / self.create_attempts
+
+
+def management_summary(records: Sequence[ExperimentRecord]) -> ManagementSummary:
+    """Summarize cell-management behaviour under fault (E2/E3 analysis)."""
+    create_attempts = sum(1 for record in records if record.create_attempted)
+    create_rejections = sum(
+        1 for record in records
+        if record.create_attempted and not record.create_succeeded
+    )
+    # In this model a rejected create never allocates a cell, which is the
+    # safety property behind the paper's "the cell will not be allocated at
+    # all, which is a correct (and expected) behaviour".
+    rejected_and_not_allocated = create_rejections
+    inconsistent = sum(
+        1 for record in records
+        if record.outcome_enum is Outcome.INCONSISTENT_STATE
+    )
+    panics = sum(
+        1 for record in records if record.outcome_enum is Outcome.PANIC_PARK
+    )
+    return ManagementSummary(
+        total=len(records),
+        create_attempts=create_attempts,
+        create_rejections=create_rejections,
+        rejected_and_not_allocated=rejected_and_not_allocated,
+        inconsistent_states=inconsistent,
+        panics=panics,
+    )
+
+
+def register_class_totals(records: Sequence[ExperimentRecord]) -> Dict[str, int]:
+    """Total corruptions per register class across a campaign."""
+    totals: Dict[str, int] = defaultdict(int)
+    for record in records:
+        for register_class, count in record.register_class_counts.items():
+            totals[register_class] += count
+    return dict(totals)
+
+
+def mean_injections_per_test(records: Sequence[ExperimentRecord]) -> float:
+    if not records:
+        return 0.0
+    return sum(record.injections for record in records) / len(records)
+
+
+def convergence_curve(records: Sequence[ExperimentRecord],
+                      outcome: Outcome,
+                      checkpoints: Sequence[int]) -> List[Tuple[int, float, float, float]]:
+    """Fraction (with CI) of ``outcome`` after the first N experiments.
+
+    Used by the campaign-convergence ablation (A5) to show how many tests are
+    needed before the Figure-3 shares stabilize.
+    """
+    curve: List[Tuple[int, float, float, float]] = []
+    outcomes = _to_outcomes(records)
+    for checkpoint in checkpoints:
+        n = min(checkpoint, len(outcomes))
+        if n == 0:
+            curve.append((0, 0.0, 0.0, 0.0))
+            continue
+        count = sum(1 for value in outcomes[:n] if value is outcome)
+        low, high = proportion_confidence_interval(count, n)
+        curve.append((n, count / n, low, high))
+    return curve

@@ -1,0 +1,164 @@
+"""Campaign orchestration.
+
+A campaign executes a :class:`~repro.core.plan.TestPlan` end to end: it runs
+the optional golden (fault-free) run used by the paper to profile injection
+points and establish the reference behaviour, executes every experiment
+against a fresh system under test, and aggregates per-outcome statistics into
+a :class:`CampaignResult` the benchmarks and the SEooC assessment layer
+consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.experiment import (
+    Experiment,
+    ExperimentResult,
+    ExperimentSpec,
+    Scenario,
+    SutFactory,
+    default_sut_factory,
+)
+from repro.core.outcomes import Outcome, OutcomeClassifier
+from repro.core.plan import TestPlan
+from repro.core.recording import ExperimentRecord, RecordStore
+from repro.errors import CampaignError
+
+
+@dataclass
+class GoldenRunReport:
+    """Reference (fault-free) behaviour of the system under test."""
+
+    duration: float
+    handler_calls: Dict[str, int]
+    target_cell_lines: int
+    root_cell_lines: int
+    outcome: Outcome
+
+    @property
+    def healthy(self) -> bool:
+        return self.outcome is Outcome.CORRECT
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated results of one campaign."""
+
+    plan_name: str
+    results: List[ExperimentResult] = field(default_factory=list)
+    golden: Optional[GoldenRunReport] = None
+
+    # -- aggregation ----------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def outcome_counts(self) -> Dict[Outcome, int]:
+        counts: Dict[Outcome, int] = {outcome: 0 for outcome in Outcome}
+        for result in self.results:
+            counts[result.outcome] += 1
+        return counts
+
+    def outcome_distribution(self) -> Dict[Outcome, float]:
+        total = len(self.results)
+        if total == 0:
+            return {outcome: 0.0 for outcome in Outcome}
+        counts = self.outcome_counts()
+        return {outcome: counts[outcome] / total for outcome in Outcome}
+
+    def failure_rate(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(1 for result in self.results if result.failed) / len(self.results)
+
+    def total_injections(self) -> int:
+        return sum(result.injections for result in self.results)
+
+    def results_with_outcome(self, outcome: Outcome) -> List[ExperimentResult]:
+        return [result for result in self.results if result.outcome is outcome]
+
+    def to_records(self) -> List[ExperimentRecord]:
+        return [ExperimentRecord.from_result(result) for result in self.results]
+
+    def save(self, path: str) -> int:
+        return RecordStore(path).write_all(self.to_records())
+
+
+ProgressCallback = Callable[[int, int, ExperimentResult], None]
+
+
+class Campaign:
+    """Runs a test plan and aggregates its results."""
+
+    def __init__(self, plan: TestPlan,
+                 sut_factory: SutFactory = default_sut_factory,
+                 classifier: Optional[OutcomeClassifier] = None) -> None:
+        plan.validate()
+        self.plan = plan
+        self.sut_factory = sut_factory
+        self.classifier = classifier or OutcomeClassifier()
+
+    # -- golden run --------------------------------------------------------------------------
+
+    def golden_run(self, *, duration: float = 10.0, seed: int = 999_983) -> GoldenRunReport:
+        """Run the system fault-free and report its reference behaviour.
+
+        This mirrors the paper's profiling of "golden (fault-free) runs of the
+        hypervisor in order to find preliminary fault injection points": the
+        report includes the per-handler call counts observed without faults.
+        """
+        sut = self.sut_factory(seed)
+        try:
+            sut.setup()
+            management = sut.perform_cell_lifecycle()
+            if not management.start_succeeded:
+                raise CampaignError("golden run failed to start the non-root cell")
+            window_start = sut.now
+            sut.run(duration)
+            window_end = sut.now
+            evidence = sut.evidence(window_start, window_end)
+            classified = self.classifier.classify(evidence)
+            handler_calls: Dict[str, int] = {}
+            handlers = getattr(sut, "hypervisor", None)
+            if handlers is not None:
+                handler_calls = {
+                    name: stats.calls
+                    for name, stats in sut.hypervisor.handlers.stats.items()  # type: ignore[attr-defined]
+                }
+            target_report = evidence.availability.get(evidence.target_cell or "")
+            root_report = evidence.availability.get(evidence.root_cell or "")
+            return GoldenRunReport(
+                duration=duration,
+                handler_calls=handler_calls,
+                target_cell_lines=target_report.lines if target_report else 0,
+                root_cell_lines=root_report.lines if root_report else 0,
+                outcome=classified.outcome,
+            )
+        finally:
+            sut.teardown()
+
+    # -- execution ------------------------------------------------------------------------------
+
+    def run(self, *, golden: bool = False,
+            progress: Optional[ProgressCallback] = None) -> CampaignResult:
+        """Execute every experiment in the plan."""
+        campaign_result = CampaignResult(plan_name=self.plan.name)
+        if golden:
+            campaign_result.golden = self.golden_run()
+        total = len(self.plan)
+        for index, spec in enumerate(self.plan):
+            result = Experiment(
+                spec, sut_factory=self.sut_factory, classifier=self.classifier
+            ).run()
+            campaign_result.results.append(result)
+            if progress is not None:
+                progress(index + 1, total, result)
+        return campaign_result
+
+    def run_single(self, spec: ExperimentSpec) -> ExperimentResult:
+        """Execute one spec (used by tests and notebooks)."""
+        return Experiment(
+            spec, sut_factory=self.sut_factory, classifier=self.classifier
+        ).run()

@@ -1,0 +1,354 @@
+"""Single fault-injection experiments.
+
+An *experiment* is one entry of the paper's test plan: bring the system under
+test up, arm one injector (target + trigger + fault model), exercise the
+workload for the test duration, collect the serial log and hypervisor events,
+and classify the outcome. Three scenarios cover the paper's evaluation:
+
+* ``STEADY_STATE`` — the Figure-3 setup: the mixed-criticality deployment is
+  brought up fault-free, then faults are injected while the workload runs.
+* ``LIFECYCLE_UNDER_FAULT`` — the high-intensity setup: the injector is armed
+  *before* the non-root cell is created, so the cell-management path itself
+  (hypercalls on the root CPU, hotplug swap on the target CPU) is exposed.
+* ``PARK_AND_RECOVER`` — the isolation check: provoke a CPU park, then verify
+  that destroying the cell returns its resources to the root cell.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.core.faultmodels import FaultModel, RegisterClassBitFlip, SingleBitFlip
+from repro.core.injection import FaultInjector
+from repro.core.outcomes import (
+    ClassifiedOutcome,
+    ManagementEvidence,
+    Outcome,
+    OutcomeClassifier,
+    OutcomeEvidence,
+)
+from repro.core.sut import JailhouseSUT, SutConfig, SystemUnderTest
+from repro.core.targets import InjectionTarget
+from repro.core.triggers import EveryNCalls, Trigger
+from repro.errors import CampaignError
+from repro.hw.registers import RegisterClass
+
+#: Default per-test duration used by the paper ("each test lasts 1 min.").
+PAPER_TEST_DURATION = 60.0
+
+
+class Scenario(enum.Enum):
+    """Which phase of the system's life the faults are injected into."""
+
+    STEADY_STATE = "steady_state"
+    LIFECYCLE_UNDER_FAULT = "lifecycle_under_fault"
+    REPEATED_LIFECYCLE = "repeated_lifecycle"
+    PARK_AND_RECOVER = "park_and_recover"
+
+
+@dataclass
+class ExperimentSpec:
+    """Everything needed to run (and re-run) one experiment."""
+
+    name: str
+    target: InjectionTarget
+    trigger: Trigger
+    fault_model: FaultModel
+    scenario: Scenario = Scenario.STEADY_STATE
+    duration: float = PAPER_TEST_DURATION
+    settle_time: float = 1.0
+    warmup_time: float = 1.0
+    observe_time: float = 10.0
+    seed: int = 0
+    intensity: str = "custom"
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.fault_model.describe()} -> "
+            f"{self.target.describe()} ({self.trigger.describe()}), "
+            f"{self.scenario.value}, {self.duration:.0f}s, seed {self.seed}"
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome and bookkeeping of one experiment."""
+
+    spec_name: str
+    outcome: Outcome
+    rationale: str
+    injections: int
+    duration: float
+    seed: int
+    scenario: str
+    target: str
+    fault_model: str
+    intensity: str
+    register_class_counts: Dict[str, int] = field(default_factory=dict)
+    management: Optional[ManagementEvidence] = None
+    target_cell_lines: int = 0
+    root_cell_lines: int = 0
+    extras: Dict[str, object] = field(default_factory=dict)
+    wall_time: float = 0.0
+
+    @property
+    def failed(self) -> bool:
+        return self.outcome.is_failure
+
+
+#: Factory building a fresh system under test for a given seed.
+SutFactory = Callable[[int], SystemUnderTest]
+
+
+def default_sut_factory(seed: int) -> SystemUnderTest:
+    """Build the paper's Jailhouse deployment."""
+    return JailhouseSUT(SutConfig(seed=seed))
+
+
+class Experiment:
+    """Runs one :class:`ExperimentSpec` against a fresh system under test."""
+
+    def __init__(self, spec: ExperimentSpec,
+                 sut_factory: SutFactory = default_sut_factory,
+                 classifier: Optional[OutcomeClassifier] = None) -> None:
+        self.spec = spec
+        self.sut_factory = sut_factory
+        self.classifier = classifier or OutcomeClassifier()
+
+    def run(self) -> ExperimentResult:
+        started = time.perf_counter()
+        spec = self.spec
+        sut = self.sut_factory(spec.seed)
+        injector = FaultInjector(
+            target=spec.target,
+            trigger=spec.trigger,
+            fault_model=spec.fault_model,
+            seed=spec.seed,
+        )
+        injector.reset()
+        try:
+            if spec.scenario is Scenario.STEADY_STATE:
+                evidence, extras = self._run_steady_state(sut, injector)
+            elif spec.scenario is Scenario.LIFECYCLE_UNDER_FAULT:
+                evidence, extras = self._run_lifecycle_under_fault(sut, injector)
+            elif spec.scenario is Scenario.REPEATED_LIFECYCLE:
+                evidence, extras = self._run_repeated_lifecycle(sut, injector)
+            elif spec.scenario is Scenario.PARK_AND_RECOVER:
+                evidence, extras = self._run_park_and_recover(sut, injector)
+            else:  # pragma: no cover - exhaustive enum
+                raise CampaignError(f"unknown scenario {spec.scenario}")
+            classified = self.classifier.classify(evidence)
+        finally:
+            sut.teardown()
+        return self._build_result(classified, evidence, injector, extras,
+                                  time.perf_counter() - started)
+
+    # -- scenarios -----------------------------------------------------------------------
+
+    def _run_steady_state(self, sut: SystemUnderTest,
+                          injector: FaultInjector):
+        spec = self.spec
+        sut.setup()
+        sut.install_injector(injector)
+        management = sut.perform_cell_lifecycle()
+        if not (management.create_succeeded and management.start_succeeded):
+            raise CampaignError(
+                "golden bring-up failed before injection; the system under "
+                "test is misconfigured"
+            )
+        sut.run(spec.settle_time)
+        pre_check = sut.evidence(0.0, sut.now)
+        if pre_check.observation.panicked or pre_check.observation.inconsistent_cells:
+            raise CampaignError(
+                "golden bring-up left the system panicked or inconsistent "
+                "before any fault was injected; the system under test is "
+                "misconfigured"
+            )
+        window_start = sut.now
+        injector.arm()
+        sut.run(spec.duration)
+        injector.disarm()
+        window_end = sut.now
+        evidence = sut.evidence(window_start, window_end)
+        evidence.management = ManagementEvidence()   # bring-up was fault-free
+        return evidence, {}
+
+    def _run_lifecycle_under_fault(self, sut: SystemUnderTest,
+                                   injector: FaultInjector):
+        spec = self.spec
+        sut.setup()
+        sut.install_injector(injector)
+        injector.arm()
+        window_start = sut.now
+        sut.run(spec.warmup_time)
+        management = sut.perform_cell_lifecycle()
+        sut.run(spec.observe_time)
+        injector.disarm()
+        window_end = sut.now
+        evidence = sut.evidence(window_start, window_end)
+        evidence.management = management
+        extras = {
+            "create_succeeded": management.create_succeeded,
+            "start_succeeded": management.start_succeeded,
+        }
+        return evidence, extras
+
+    def _run_repeated_lifecycle(self, sut: SystemUnderTest,
+                                injector: FaultInjector):
+        """Repeatedly create/start/destroy the non-root cell under injection.
+
+        A single management operation is only a handful of handler calls, so a
+        rate-based trigger rarely lands exactly on it; cycling the cell for
+        the whole test duration exposes the management path statistically, the
+        way the paper's one-minute high-intensity tests do.
+        """
+        spec = self.spec
+        sut.setup()
+        sut.install_injector(injector)
+        injector.arm()
+        window_start = sut.now
+        sut.run(spec.warmup_time)
+        aggregate = ManagementEvidence()
+        dwell = max(spec.observe_time / 10.0, 1.0)
+        attempts = 0
+        while sut.now - window_start < spec.duration:
+            if sut.evidence(window_start, sut.now).observation.panicked:
+                break
+            if sut.inmate_cell_exists():
+                # A previous destroy was itself hit by a fault; retry so the
+                # next create attempt starts from a clean slate.
+                sut.destroy_inmate_cell()
+            pre_existing = sut.inmate_cell_exists()
+            attempt = sut.perform_cell_lifecycle()
+            aggregate.merge_attempt(attempt)
+            attempts += 1
+            if (not attempt.create_succeeded and not pre_existing
+                    and sut.inmate_cell_exists()):
+                # A rejected create must never leave a cell allocated; this is
+                # the safety property behind the paper's expected behaviour.
+                aggregate.wrongly_allocated += 1
+            sut.run(dwell)
+            interim = sut.evidence(window_start, sut.now)
+            if interim.observation.panicked:
+                break
+            if attempt.start_succeeded and interim.observation.cpu_online_failures:
+                aggregate.inconsistent_starts += 1
+            if attempt.create_succeeded:
+                sut.destroy_inmate_cell()
+            sut.run(0.2)
+        injector.disarm()
+        window_end = sut.now
+        evidence = sut.evidence(window_start, window_end)
+        evidence.management = aggregate
+        extras = {
+            "lifecycle_attempts": attempts,
+            "create_attempts": aggregate.create_attempts,
+            "create_rejections": aggregate.create_rejections,
+            "start_attempts": aggregate.start_attempts,
+            "start_rejections": aggregate.start_rejections,
+            "wrongly_allocated": aggregate.wrongly_allocated,
+            "inconsistent_starts": aggregate.inconsistent_starts,
+        }
+        return evidence, extras
+
+    def _run_park_and_recover(self, sut: SystemUnderTest,
+                              injector: FaultInjector):
+        spec = self.spec
+        sut.setup()
+        sut.install_injector(injector)
+        management = sut.perform_cell_lifecycle()
+        if not management.start_succeeded:
+            raise CampaignError("golden bring-up failed before injection")
+        sut.run(spec.settle_time)
+        window_start = sut.now
+        injector.arm()
+        # Run in slices until a CPU park (or panic) shows up, or time runs out.
+        slice_duration = max(spec.duration / 20.0, 0.5)
+        elapsed = 0.0
+        parked = False
+        interim = None
+        while elapsed < spec.duration:
+            sut.run(slice_duration)
+            elapsed += slice_duration
+            interim = sut.evidence(window_start, sut.now)
+            if interim.observation.panicked:
+                break
+            if interim.observation.parked_cpus:
+                parked = True
+                break
+        injector.disarm()
+        recovery_ok = False
+        root_alive_after = False
+        if parked:
+            recovery_ok = sut.destroy_inmate_cell()
+            sut.run(2.0)
+            after = sut.evidence(window_start, sut.now)
+            root_report = after.availability.get(after.root_cell or "", None)
+            root_alive_after = (
+                not after.observation.panicked
+                and root_report is not None and root_report.lines > 0
+            )
+        window_end = sut.now
+        # Classify against the state observed *at the failure*, not after the
+        # recovery action (destroying the cell un-parks its CPU by design).
+        if parked and interim is not None:
+            evidence = interim
+        else:
+            evidence = sut.evidence(window_start, window_end)
+        evidence.management = ManagementEvidence()
+        extras = {
+            "park_observed": parked,
+            "destroy_returned_resources": recovery_ok,
+            "root_cell_alive_after_destroy": root_alive_after,
+            "isolation_preserved": parked and recovery_ok and root_alive_after,
+        }
+        return evidence, extras
+
+    # -- result assembly ------------------------------------------------------------------------
+
+    def _build_result(self, classified: ClassifiedOutcome,
+                      evidence: OutcomeEvidence, injector: FaultInjector,
+                      extras: Dict[str, object],
+                      wall_time: float) -> ExperimentResult:
+        spec = self.spec
+        class_counts: Dict[str, int] = {}
+        for fault in injector.faults_applied():
+            key = fault.register_class.value
+            class_counts[key] = class_counts.get(key, 0) + 1
+        target_report = evidence.availability.get(evidence.target_cell or "", None)
+        root_report = evidence.availability.get(evidence.root_cell or "", None)
+        return ExperimentResult(
+            spec_name=spec.name,
+            outcome=classified.outcome,
+            rationale=classified.rationale,
+            injections=injector.injection_count,
+            duration=spec.duration,
+            seed=spec.seed,
+            scenario=spec.scenario.value,
+            target=spec.target.describe(),
+            fault_model=spec.fault_model.describe(),
+            intensity=spec.intensity,
+            register_class_counts=class_counts,
+            management=evidence.management,
+            target_cell_lines=target_report.lines if target_report else 0,
+            root_cell_lines=root_report.lines if root_report else 0,
+            extras=extras,
+            wall_time=wall_time,
+        )
+
+
+def park_provoking_spec(seed: int = 0, *, duration: float = 30.0) -> ExperimentSpec:
+    """A spec biased toward producing the CPU-park outcome quickly (E4)."""
+    return ExperimentSpec(
+        name="park-and-recover",
+        target=InjectionTarget.nonroot_cpu_trap(),
+        trigger=EveryNCalls(10),
+        fault_model=RegisterClassBitFlip(RegisterClass.STACK_POINTER),
+        scenario=Scenario.PARK_AND_RECOVER,
+        duration=duration,
+        seed=seed,
+        intensity="targeted",
+    )

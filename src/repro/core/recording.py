@@ -1,0 +1,131 @@
+"""Structured experiment records and on-disk storage.
+
+The paper collects every test's outcome into a log file "which is further
+analyzed to understand how the hypervisor reacted to injected faults". This
+module is the structured equivalent: each experiment becomes one JSON record,
+and a :class:`RecordStore` persists campaigns as JSON-Lines files that the
+analysis layer can re-load without re-running the (slow) experiments.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.core.experiment import ExperimentResult
+from repro.core.outcomes import ManagementEvidence, Outcome
+from repro.errors import AnalysisError
+
+RECORD_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """Flat, serialization-friendly view of one experiment result."""
+
+    spec_name: str
+    outcome: str
+    rationale: str
+    injections: int
+    duration: float
+    seed: int
+    scenario: str
+    target: str
+    fault_model: str
+    intensity: str
+    register_class_counts: Dict[str, int] = field(default_factory=dict)
+    target_cell_lines: int = 0
+    root_cell_lines: int = 0
+    create_attempted: bool = False
+    create_succeeded: bool = False
+    start_attempted: bool = False
+    start_succeeded: bool = False
+    extras: Dict[str, object] = field(default_factory=dict)
+    schema_version: int = RECORD_SCHEMA_VERSION
+
+    @classmethod
+    def from_result(cls, result: ExperimentResult) -> "ExperimentRecord":
+        management = result.management or ManagementEvidence()
+        return cls(
+            spec_name=result.spec_name,
+            outcome=result.outcome.value,
+            rationale=result.rationale,
+            injections=result.injections,
+            duration=result.duration,
+            seed=result.seed,
+            scenario=result.scenario,
+            target=result.target,
+            fault_model=result.fault_model,
+            intensity=result.intensity,
+            register_class_counts=dict(result.register_class_counts),
+            target_cell_lines=result.target_cell_lines,
+            root_cell_lines=result.root_cell_lines,
+            create_attempted=management.create_attempted,
+            create_succeeded=management.create_succeeded,
+            start_attempted=management.start_attempted,
+            start_succeeded=management.start_succeeded,
+            extras=dict(result.extras),
+        )
+
+    @property
+    def outcome_enum(self) -> Outcome:
+        return Outcome(self.outcome)
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "ExperimentRecord":
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise AnalysisError(f"malformed record line: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise AnalysisError("record line does not contain a JSON object")
+        payload.pop("schema_version", None)
+        known = {name for name in cls.__dataclass_fields__ if name != "schema_version"}
+        unknown = set(payload) - known
+        if unknown:
+            raise AnalysisError(f"record has unknown fields: {sorted(unknown)}")
+        missing = {
+            name for name in ("spec_name", "outcome", "injections", "seed")
+            if name not in payload
+        }
+        if missing:
+            raise AnalysisError(f"record is missing fields: {sorted(missing)}")
+        return cls(**payload)
+
+
+class RecordStore:
+    """JSON-Lines persistence for experiment records."""
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+
+    def append(self, record: ExperimentRecord) -> None:
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(record.to_json() + "\n")
+
+    def write_all(self, records: Iterable[ExperimentRecord]) -> int:
+        count = 0
+        with self.path.open("w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(record.to_json() + "\n")
+                count += 1
+        return count
+
+    def load(self) -> List[ExperimentRecord]:
+        if not self.path.exists():
+            return []
+        records: List[ExperimentRecord] = []
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(ExperimentRecord.from_json(line))
+        return records
+
+    def __iter__(self) -> Iterator[ExperimentRecord]:
+        return iter(self.load())

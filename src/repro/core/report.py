@@ -1,0 +1,142 @@
+"""Human-readable campaign reports.
+
+Renders the quantities the paper reports as plain-text tables and ASCII bar
+charts: the Figure-3 availability breakdown, the high-intensity management
+findings, and side-by-side comparisons for the ablation benches. All output is
+deterministic text so benchmarks can simply print it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.core.analysis import (
+    DistributionSummary,
+    availability_breakdown,
+    management_summary,
+    mean_injections_per_test,
+    outcome_distribution,
+)
+from repro.core.campaign import CampaignResult
+from repro.core.outcomes import Outcome
+from repro.core.recording import ExperimentRecord
+
+BAR_WIDTH = 40
+
+
+def _bar(fraction: float, width: int = BAR_WIDTH) -> str:
+    filled = int(round(max(0.0, min(1.0, fraction)) * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def format_distribution(summary: DistributionSummary, *, title: str = "") -> str:
+    """Render an outcome distribution as an ASCII bar chart."""
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(f"experiments: {summary.total}")
+    for outcome in Outcome:
+        share = summary.shares.get(outcome)
+        if share is None or (share.count == 0 and outcome is not Outcome.CORRECT):
+            continue
+        lines.append(
+            f"{outcome.value:<20} {share.count:>5}  {share.fraction * 100:6.1f}%  "
+            f"[{share.ci_low * 100:5.1f}, {share.ci_high * 100:5.1f}]  "
+            f"|{_bar(share.fraction)}|"
+        )
+    return "\n".join(lines)
+
+
+def format_figure3(records: Sequence[ExperimentRecord], *,
+                   paper_reference: Optional[Mapping[str, float]] = None) -> str:
+    """Render the Figure-3 availability chart (non-root cell, medium intensity).
+
+    ``paper_reference`` maps category name to the fraction reported by the
+    paper so the bench output shows reproduced-vs-paper side by side.
+    """
+    breakdown = availability_breakdown(records)
+    reference = paper_reference or {}
+    lines = [
+        "Non-root cell availability in medium intensity tests (Figure 3)",
+        "----------------------------------------------------------------",
+        f"tests: {len(records)}   mean injections/test: "
+        f"{mean_injections_per_test(records):.1f}",
+        "",
+        f"{'category':<14} {'measured':>9} {'paper':>9}   chart",
+    ]
+    for category in ("correct", "panic_park", "cpu_park", "other"):
+        measured = breakdown.get(category, 0.0)
+        paper_value = reference.get(category)
+        paper_text = f"{paper_value * 100:8.1f}%" if paper_value is not None else "      n/a"
+        lines.append(
+            f"{category:<14} {measured * 100:8.1f}% {paper_text}   |{_bar(measured)}|"
+        )
+    return "\n".join(lines)
+
+
+def format_management_report(records: Sequence[ExperimentRecord], *,
+                             title: str) -> str:
+    """Render the high-intensity findings (invalid arguments / inconsistent state)."""
+    summary = management_summary(records)
+    distribution = outcome_distribution(records)
+    lines = [
+        title,
+        "-" * len(title),
+        f"tests: {summary.total}",
+        f"cell-create attempts: {summary.create_attempts}",
+        f"  rejected (cell not allocated): {summary.create_rejections} "
+        f"({summary.rejection_rate * 100:.1f}% of attempts)",
+        f"  rejected creates that still allocated a cell: "
+        f"{summary.create_rejections - summary.rejected_and_not_allocated}",
+        f"inconsistent states (running but silent): {summary.inconsistent_states}",
+        f"whole-system panics: {summary.panics}",
+        "",
+        format_distribution(distribution, title="outcome distribution"),
+    ]
+    return "\n".join(lines)
+
+
+def format_comparison(groups: Mapping[str, DistributionSummary], *,
+                      title: str, sort_keys: bool = True) -> str:
+    """Render a per-group outcome comparison (ablation benches)."""
+    lines = [title, "=" * len(title)]
+    header = (
+        f"{'group':<32} {'N':>5} {'correct':>9} {'panic':>9} {'cpu park':>9} "
+        f"{'invalid':>9} {'inconsist':>10} {'silent':>8}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    keys = sorted(groups) if sort_keys else list(groups)
+    for key in keys:
+        summary = groups[key]
+        lines.append(
+            f"{key:<32} {summary.total:>5} "
+            f"{summary.fraction(Outcome.CORRECT) * 100:>8.1f}% "
+            f"{summary.fraction(Outcome.PANIC_PARK) * 100:>8.1f}% "
+            f"{summary.fraction(Outcome.CPU_PARK) * 100:>8.1f}% "
+            f"{summary.fraction(Outcome.INVALID_ARGUMENTS) * 100:>8.1f}% "
+            f"{summary.fraction(Outcome.INCONSISTENT_STATE) * 100:>9.1f}% "
+            f"{summary.fraction(Outcome.SILENT_FAILURE) * 100:>7.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def format_campaign_summary(result: CampaignResult) -> str:
+    """One-page summary of a campaign (used by the examples)."""
+    records = result.to_records()
+    distribution = outcome_distribution(records)
+    lines = [
+        f"Campaign: {result.plan_name}",
+        f"experiments: {len(result)}   total injections: {result.total_injections()}",
+        f"failure rate: {result.failure_rate() * 100:.1f}%",
+    ]
+    if result.golden is not None:
+        golden = result.golden
+        lines.append(
+            f"golden run: outcome={golden.outcome.value} "
+            f"handler calls={golden.handler_calls}"
+        )
+    lines.append("")
+    lines.append(format_distribution(distribution, title="outcomes"))
+    return "\n".join(lines)

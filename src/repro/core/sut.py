@@ -1,0 +1,279 @@
+"""System-under-test drivers.
+
+A :class:`SystemUnderTest` packages everything an experiment needs: it builds
+the board, the hypervisor, and the guests; it brings the mixed-criticality
+deployment up (Linux root cell managing a FreeRTOS non-root cell, as in the
+paper's testbed); it drives the simulation loop that feeds guest activity
+through the hypervisor's hookable entry points; and it exposes the evidence
+the outcome classifier needs.
+
+:class:`JailhouseSUT` is the paper's deployment. The baselines in
+:mod:`repro.baselines` implement the same interface so the comparison
+benchmark can run identical campaigns against them.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.injection import FaultInjector
+from repro.core.monitors import AvailabilityMonitor, HypervisorMonitor, LogCollector
+from repro.core.outcomes import ManagementEvidence, OutcomeEvidence
+from repro.errors import CampaignError
+from repro.guests.base import GuestEvent, GuestOS
+from repro.guests.freertos.kernel import FreeRTOSKernel
+from repro.guests.freertos.workloads import build_paper_workload
+from repro.guests.linux import LinuxGuest
+from repro.hw.board import BananaPiBoard, BoardConfig
+from repro.hw.cpu import CpuState
+from repro.hypervisor.cell import LoadedImage
+from repro.hypervisor.cli import JailhouseCli
+from repro.hypervisor.config import (
+    bananapi_system_config,
+    freertos_cell_config,
+)
+from repro.hypervisor.core import Hypervisor
+from repro.hypervisor.handlers import TrapResult
+from repro.hypervisor.traps import TrapCode, encode_hsr
+
+
+@dataclass
+class SutConfig:
+    """Configuration of the Jailhouse system under test."""
+
+    timestep: float = 0.02            # simulation quantum in seconds
+    seed: int = 0
+    root_cell_name: str = "BananaPi-Linux"
+    inmate_cell_name: str = "FreeRTOS"
+    inmate_entry_offset: int = 0x0
+    create_ivshmem: bool = True
+    max_resume_faults_per_step: int = 4
+
+
+class SystemUnderTest(abc.ABC):
+    """Interface every system under test implements."""
+
+    name: str = "sut"
+
+    @abc.abstractmethod
+    def setup(self) -> None:
+        """Boot the system to its steady state (no injections yet)."""
+
+    @abc.abstractmethod
+    def install_injector(self, injector: FaultInjector) -> None:
+        """Install (but do not arm) a fault injector."""
+
+    @abc.abstractmethod
+    def run(self, duration: float) -> None:
+        """Advance the workload for ``duration`` simulated seconds."""
+
+    @abc.abstractmethod
+    def perform_cell_lifecycle(self) -> ManagementEvidence:
+        """Create, load and start the non-root cell (used by lifecycle tests)."""
+
+    @abc.abstractmethod
+    def destroy_inmate_cell(self) -> bool:
+        """Destroy the non-root cell; returns whether resources came back."""
+
+    @abc.abstractmethod
+    def inmate_cell_exists(self) -> bool:
+        """Whether the non-root cell is currently allocated."""
+
+    @abc.abstractmethod
+    def evidence(self, window_start: float, window_end: float) -> OutcomeEvidence:
+        """Collect the classifier evidence for the given observation window."""
+
+    @abc.abstractmethod
+    def teardown(self) -> None:
+        """Release references (a SUT instance is single-use)."""
+
+    @property
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current simulated time."""
+
+
+class JailhouseSUT(SystemUnderTest):
+    """The paper's deployment: Jailhouse on a Banana Pi with Linux + FreeRTOS."""
+
+    name = "jailhouse"
+
+    def __init__(self, config: Optional[SutConfig] = None) -> None:
+        self.config = config or SutConfig()
+        self.board = BananaPiBoard(BoardConfig())
+        self.hypervisor = Hypervisor(self.board)
+        self.cli = JailhouseCli(self.hypervisor)
+        self.linux = LinuxGuest(self.config.root_cell_name, seed=self.config.seed)
+        self.freertos: FreeRTOSKernel = build_paper_workload(
+            self.config.inmate_cell_name, seed=self.config.seed + 1
+        )
+        self.injectors: List[FaultInjector] = []
+        self._lifecycle_done = False
+        self._log_collector = LogCollector(self.board.uart)
+
+    # -- setup ---------------------------------------------------------------------------
+
+    def setup(self) -> None:
+        """Power on the board, enable the hypervisor, boot the root cell."""
+        self.board.power_on()
+        system_config = bananapi_system_config()
+        result = self.cli.enable(system_config)
+        if not result.success:
+            raise CampaignError(f"failed to enable the hypervisor: {result.output}")
+        root = self.hypervisor.root_cell
+        assert root is not None
+        self.linux.attach(root, self.board)
+        self.linux.boot()
+        self._log_collector.start(self.board.clock.now)
+
+    def install_injector(self, injector: FaultInjector) -> None:
+        injector.install(self.hypervisor.handlers)
+        self.injectors.append(injector)
+
+    # -- cell lifecycle ------------------------------------------------------------------------
+
+    def perform_cell_lifecycle(self) -> ManagementEvidence:
+        """Create, load and start the FreeRTOS cell through the jailhouse CLI."""
+        evidence = ManagementEvidence()
+        cell_config = freertos_cell_config(self.config.inmate_cell_name)
+
+        evidence.create_attempted = True
+        create = self.cli.cell_create(cell_config)
+        evidence.create_succeeded = create.success
+        evidence.create_code = create.code
+        if not create.success:
+            return evidence
+
+        ram = cell_config.find_assignment("ram")
+        assert ram is not None
+        entry = ram.virt_start + self.config.inmate_entry_offset
+        load = self.cli.cell_load(
+            cell_config.name,
+            LoadedImage(region_name="ram", entry_point=entry,
+                        size=256 << 10, description="freertos-bananapi.bin"),
+        )
+        if load.success:
+            cell = self.hypervisor.cell_by_name(cell_config.name)
+            assert cell is not None
+            self.freertos.attach(cell, self.board)
+            if self.config.create_ivshmem:
+                channel = self.hypervisor.create_ivshmem_channel(
+                    self.config.root_cell_name, cell_config.name
+                )
+                channel.set_doorbell_target(cell_config.name, min(cell.cpus))
+                self.freertos.attach_ivshmem(channel)
+
+        evidence.start_attempted = True
+        start = self.cli.cell_start(cell_config.name)
+        evidence.start_succeeded = start.success
+        evidence.start_code = start.code
+        if start.success:
+            cell = self.hypervisor.cell_by_name(cell_config.name)
+            if cell is not None and cell.online_cpus:
+                self.freertos.boot()
+        self._lifecycle_done = True
+        return evidence
+
+    def inmate_cell_exists(self) -> bool:
+        return self.hypervisor.cell_by_name(self.config.inmate_cell_name) is not None
+
+    def destroy_inmate_cell(self) -> bool:
+        """``jailhouse cell destroy`` and verify resources return to the root."""
+        result = self.cli.cell_destroy(self.config.inmate_cell_name)
+        if not result.success:
+            return False
+        root = self.hypervisor.root_cell
+        assert root is not None
+        freertos_cpus = freertos_cell_config(self.config.inmate_cell_name).cpus
+        return freertos_cpus <= root.cpus
+
+    # -- simulation loop ----------------------------------------------------------------------------
+
+    def run(self, duration: float) -> None:
+        """Drive the workload; stops early if the whole system panics."""
+        steps = max(1, int(round(duration / self.config.timestep)))
+        for _ in range(steps):
+            if self.hypervisor.panicked:
+                break
+            self._step(self.config.timestep)
+
+    def _step(self, dt: float) -> None:
+        self.board.advance(dt)
+        now = self.board.clock.now
+        for cpu in self.board.cpus:
+            if not cpu.is_executing:
+                continue
+            cell = self.hypervisor.cell_of_cpu(cpu.cpu_id)
+            if cell is None or not cell.state.is_running:
+                continue
+            guest = cell.guest
+            if guest is None or not guest.alive:
+                continue
+            # Pending interrupts enter through irqchip_handle_irq().
+            if self.board.gic.has_pending(cpu.cpu_id):
+                context = cpu.enter_trap("irq", 0, timestamp=now)
+                result = self.hypervisor.handlers.irqchip_handle_irq(cpu, context)
+                if result is TrapResult.HANDLED:
+                    follow_up = guest.resume_from_trap(cpu.cpu_id, context)
+                    if follow_up is not None:
+                        self._dispatch_guest_event(cpu.cpu_id, guest, follow_up, depth=1)
+                if self.hypervisor.panicked or not cpu.is_executing:
+                    continue
+            # Workload-generated VM exits enter through arch_handle_trap()/hvc().
+            for event in guest.step(cpu.cpu_id, now, dt):
+                if self.hypervisor.panicked or not cpu.is_executing:
+                    break
+                self._dispatch_guest_event(cpu.cpu_id, guest, event, depth=0)
+
+    def _dispatch_guest_event(self, cpu_id: int, guest: GuestOS,
+                              event: GuestEvent, *, depth: int) -> None:
+        if depth > self.config.max_resume_faults_per_step:
+            return
+        cpu = self.board.cpu(cpu_id)
+        if not cpu.is_executing:
+            return
+        guest.place_registers(cpu_id, event.registers)
+        context = cpu.enter_trap(
+            event.trap.value, encode_hsr(event.trap),
+            timestamp=self.board.clock.now,
+        )
+        result = self.hypervisor.handlers.arch_handle_trap(
+            cpu, context, fault_address=event.fault_address
+        )
+        if result is not TrapResult.HANDLED:
+            return
+        follow_up = guest.resume_from_trap(cpu_id, context)
+        if follow_up is not None:
+            self._dispatch_guest_event(cpu_id, guest, follow_up, depth=depth + 1)
+
+    # -- evidence ------------------------------------------------------------------------------------
+
+    def evidence(self, window_start: float, window_end: float) -> OutcomeEvidence:
+        hypervisor_monitor = HypervisorMonitor(self.hypervisor)
+        availability: Dict[str, "AvailabilityReport"] = {}
+        for cell_name in (self.config.inmate_cell_name, self.config.root_cell_name):
+            monitor = AvailabilityMonitor(self.board.uart, cell_name)
+            availability[cell_name] = monitor.report(window_start, window_end)
+        injections = sum(injector.injection_count for injector in self.injectors)
+        return OutcomeEvidence(
+            observation=hypervisor_monitor.observe(window_start, window_end),
+            availability=availability,
+            target_cell=self.config.inmate_cell_name,
+            root_cell=self.config.root_cell_name,
+            injections=injections,
+        )
+
+    def serial_log(self) -> str:
+        """The full captured serial log of this run (the paper's log file)."""
+        return self._log_collector.collect(self.board.clock.now)
+
+    @property
+    def now(self) -> float:
+        return self.board.clock.now
+
+    def teardown(self) -> None:
+        for injector in self.injectors:
+            injector.uninstall()
+        self.injectors.clear()

@@ -1,0 +1,109 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the simulated board, the hypervisor model, the guest
+models, and the fault-injection framework derives from :class:`ReproError` so
+callers can distinguish library failures from programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class HardwareError(ReproError):
+    """Base class for errors raised by the simulated hardware substrate."""
+
+
+class MemoryAccessError(HardwareError):
+    """A memory access violated the physical memory map or its permissions."""
+
+    def __init__(self, address: int, size: int, kind: str, reason: str) -> None:
+        self.address = address
+        self.size = size
+        self.kind = kind
+        self.reason = reason
+        super().__init__(
+            f"{kind} access of {size} byte(s) at 0x{address:08x} failed: {reason}"
+        )
+
+
+class RegionOverlapError(HardwareError):
+    """Two memory regions that must be disjoint overlap."""
+
+
+class InvalidRegisterError(HardwareError):
+    """A register name or index outside the modeled register file was used."""
+
+
+class CpuStateError(HardwareError):
+    """A CPU operation was attempted in an incompatible CPU state."""
+
+
+class InterruptError(HardwareError):
+    """An interrupt id or routing operation was invalid."""
+
+
+class DeviceError(HardwareError):
+    """A device-level operation failed (UART, GPIO, timer)."""
+
+
+class HypervisorError(ReproError):
+    """Base class for errors raised by the partitioning-hypervisor model."""
+
+
+class ConfigurationError(HypervisorError):
+    """A system or cell configuration is structurally invalid."""
+
+
+class CellStateError(HypervisorError):
+    """A cell-management operation was attempted in an incompatible state."""
+
+
+class HypercallError(HypervisorError):
+    """A hypercall could not be dispatched."""
+
+
+class IsolationViolationError(HypervisorError):
+    """A cell attempted to access a resource owned by another cell."""
+
+
+class HypervisorPanic(HypervisorError):
+    """The hypervisor hit an unrecoverable internal error (panic park)."""
+
+    def __init__(self, message: str, cpu_id: int | None = None) -> None:
+        self.cpu_id = cpu_id
+        super().__init__(message)
+
+
+class GuestError(ReproError):
+    """Base class for errors raised by guest OS models."""
+
+
+class GuestCrashError(GuestError):
+    """A guest OS reached an unrecoverable state."""
+
+
+class SchedulerError(GuestError):
+    """The guest scheduler was misused (duplicate task names, bad priority)."""
+
+
+class InjectionError(ReproError):
+    """Base class for errors raised by the fault-injection framework."""
+
+
+class CampaignError(InjectionError):
+    """A campaign or test plan is invalid or was interrupted."""
+
+
+class TargetError(InjectionError):
+    """An injection target does not exist on the system under test."""
+
+
+class AnalysisError(ReproError):
+    """Raised when analytics are asked to process malformed records."""
+
+
+class SafetyAssessmentError(ReproError):
+    """Raised by the ISO 26262 / SEooC assessment layer."""

@@ -1,0 +1,23 @@
+"""Guest operating-system models.
+
+The paper's workload consists of a general-purpose Linux in the root cell and
+FreeRTOS in the non-root cell, the latter running a blink task, a send/receive
+task pair, two floating-point tasks, and fifteen integer tasks. These models
+reproduce the *observable behaviour* of those guests — the traps they take
+into the hypervisor and the serial output they produce — which is all the
+fault-injection experiments measure.
+"""
+
+from repro.guests.base import GuestEvent, GuestOS, GuestState
+from repro.guests.linux import LinuxGuest
+from repro.guests.freertos.kernel import FreeRTOSKernel
+from repro.guests.freertos.workloads import build_paper_workload
+
+__all__ = [
+    "FreeRTOSKernel",
+    "GuestEvent",
+    "GuestOS",
+    "GuestState",
+    "LinuxGuest",
+    "build_paper_workload",
+]

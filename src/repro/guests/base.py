@@ -1,0 +1,242 @@
+"""Guest OS protocol and shared fault-propagation behaviour.
+
+A guest model does three things:
+
+1. **Generate traps.** Each simulation quantum it reports the VM exits its
+   workload caused (hypercalls, WFI, system-register accesses, MMIO) as
+   :class:`GuestEvent` objects. The system-under-test feeds those through the
+   hypervisor's hookable entry points.
+2. **Produce observable output.** Tasks print to the cell's UART; the paper
+   judges availability purely from this output.
+3. **React to a (possibly corrupted) resume context.** After a trap returns,
+   the guest inspects the architectural state it was resumed with. A PC
+   outside the cell's executable mappings faults at the next fetch; a stack
+   pointer outside mapped RAM faults at the next stack access (unless the
+   scheduler reloads SP first); a corrupted link register only matters if the
+   running task returns through it before it is overwritten. These rules are
+   what turn the paper's random bit flips into the outcome distribution of
+   Figure 3 — they are behavioural properties of the guest, not of the
+   injector.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.hw.board import BananaPiBoard
+from repro.hw.memory import AccessType
+from repro.hw.registers import Register, TrapContext
+from repro.hypervisor.cell import Cell
+from repro.hypervisor.traps import TrapCode
+
+#: Probability that a task dereferences its (corrupted) stack pointer before
+#: the scheduler reloads SP from the task control block at the next switch.
+DEFAULT_STACK_USE_PROBABILITY = 0.35
+#: Probability that the running task returns through a corrupted link register
+#: before overwriting it with a new call.
+DEFAULT_LINK_RETURN_PROBABILITY = 0.10
+
+
+class GuestState(enum.Enum):
+    """Lifecycle state of a guest model."""
+
+    STOPPED = "stopped"
+    RUNNING = "running"
+    CRASHED = "crashed"
+    PANICKED = "panicked"
+
+
+@dataclass
+class GuestEvent:
+    """One VM exit requested by the guest."""
+
+    trap: TrapCode
+    registers: Dict[Register, int] = field(default_factory=dict)
+    fault_address: Optional[int] = None
+    description: str = ""
+
+
+@dataclass
+class GuestStats:
+    """Counters kept by every guest model."""
+
+    steps: int = 0
+    traps_generated: int = 0
+    uart_lines: int = 0
+    interrupts_received: int = 0
+    faults_after_resume: int = 0
+    silent_corruptions: int = 0
+
+
+class GuestOS(abc.ABC):
+    """Base class for guest OS models."""
+
+    def __init__(self, name: str, *, seed: int = 0,
+                 stack_use_probability: float = DEFAULT_STACK_USE_PROBABILITY,
+                 link_return_probability: float = DEFAULT_LINK_RETURN_PROBABILITY) -> None:
+        self.name = name
+        self.state = GuestState.STOPPED
+        self.stats = GuestStats()
+        self.cell: Optional[Cell] = None
+        self.board: Optional[BananaPiBoard] = None
+        self.rng = np.random.default_rng(seed)
+        self.stack_use_probability = stack_use_probability
+        self.link_return_probability = link_return_probability
+        self.crash_reason: Optional[str] = None
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def attach(self, cell: Cell, board: BananaPiBoard) -> None:
+        """Bind the guest to its cell and board; called at cell load time."""
+        self.cell = cell
+        self.board = board
+        cell.attach_guest(self)
+
+    def boot(self) -> None:
+        """Mark the guest as running and emit its boot banner."""
+        if self.cell is None or self.board is None:
+            raise RuntimeError(f"guest {self.name!r} must be attached before boot")
+        self.state = GuestState.RUNNING
+        # Establish sane architectural state on every online vCPU: a real guest
+        # sets up its own stack and code pointers long before the first trap.
+        for cpu_id in sorted(self.cell.online_cpus):
+            self.place_registers(cpu_id, self.nominal_registers(cpu_id))
+        self.console(self.boot_banner())
+
+    def boot_banner(self) -> str:
+        return f"{self.name} booting"
+
+    @property
+    def alive(self) -> bool:
+        return self.state is GuestState.RUNNING
+
+    # -- console ------------------------------------------------------------------------
+
+    def console(self, text: str) -> None:
+        """Write one line to the cell's UART, tagged with the cell name."""
+        if self.board is None or self.cell is None:
+            return
+        if not self.cell.config.console.enabled:
+            return
+        self.board.uart.write_line(self.cell.name, text)
+        self.stats.uart_lines += 1
+        self.cell.stats.uart_lines += 1
+
+    # -- abstract workload ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def step(self, cpu_id: int, now: float, dt: float) -> List[GuestEvent]:
+        """Run one quantum on ``cpu_id`` and return the traps it caused."""
+
+    def on_interrupt(self, irq: int, cpu_id: int) -> None:
+        """An interrupt owned by this cell was delivered."""
+        self.stats.interrupts_received += 1
+
+    def on_cpu_online(self, cpu_id: int) -> None:
+        """A CPU just came online for this guest's cell.
+
+        Models the guest's secondary-CPU startup code, which establishes a
+        valid stack and return pointer before interrupts are enabled.
+        """
+        self.place_registers(cpu_id, self.nominal_registers(cpu_id))
+
+    def on_system_panic(self, reason: str) -> None:
+        """The hypervisor panicked underneath this guest."""
+        self.state = GuestState.PANICKED
+
+    # -- fault propagation after resume ----------------------------------------------------------
+
+    def resume_from_trap(self, cpu_id: int, context: TrapContext) -> Optional[GuestEvent]:
+        """Inspect the resumed state; return a follow-up fault event if it is bad.
+
+        The returned event (if any) is dispatched immediately by the system
+        under test, modelling the fact that a corrupted PC faults on the very
+        next instruction fetch.
+        """
+        if self.cell is None:
+            return None
+        memory_map = self.cell.memory_map
+
+        pc = context.read(Register.PC)
+        if not memory_map.is_executable(pc):
+            self.stats.faults_after_resume += 1
+            return GuestEvent(
+                trap=TrapCode.PREFETCH_ABORT,
+                registers=dict(context.registers),
+                fault_address=pc,
+                description=f"instruction fetch from unmapped 0x{pc:08x}",
+            )
+
+        sp = context.read(Register.SP)
+        if not memory_map.is_mapped(sp, 4, AccessType.WRITE):
+            if self.rng.random() < self.stack_use_probability:
+                self.stats.faults_after_resume += 1
+                return GuestEvent(
+                    trap=TrapCode.DATA_ABORT,
+                    registers=dict(context.registers),
+                    fault_address=sp,
+                    description=f"stack access at unmapped 0x{sp:08x}",
+                )
+            # The scheduler reloads SP from the task control block before the
+            # corrupted value is ever dereferenced.
+            self._restore_stack_pointer(cpu_id)
+
+        lr = context.read(Register.LR)
+        if not memory_map.is_executable(lr):
+            if self.rng.random() < self.link_return_probability:
+                self.stats.faults_after_resume += 1
+                return GuestEvent(
+                    trap=TrapCode.PREFETCH_ABORT,
+                    registers=dict(context.registers),
+                    fault_address=lr,
+                    description=f"return to unmapped 0x{lr:08x}",
+                )
+
+        return None
+
+    def _restore_stack_pointer(self, cpu_id: int) -> None:
+        """Reload a sane SP on the vCPU (models the next context switch)."""
+        if self.board is None or self.cell is None:
+            return
+        ram = self.cell.memory_map.ram_mappings()
+        if not ram:
+            return
+        top = ram[0].virt_start + ram[0].size - 0x100
+        self.board.cpu(cpu_id).registers.write(Register.SP, top)
+
+    # -- vCPU register housekeeping ---------------------------------------------------------------------
+
+    def place_registers(self, cpu_id: int, values: Dict[Register, int]) -> None:
+        """Write workload register values onto the vCPU before trapping."""
+        if self.board is None:
+            return
+        registers = self.board.cpu(cpu_id).registers
+        for register, value in values.items():
+            registers.write(register, value)
+
+    def nominal_registers(self, cpu_id: int) -> Dict[Register, int]:
+        """Plausible architectural state for this guest while it executes."""
+        if self.cell is None:
+            return {}
+        ram = self.cell.memory_map.ram_mappings()
+        if not ram:
+            return {}
+        base = ram[0].virt_start
+        size = ram[0].size
+        code_offset = int(self.rng.integers(0x100, max(0x200, size // 4))) & ~0x3
+        stack_offset = int(self.rng.integers(size // 2, size - 0x100)) & ~0x7
+        return {
+            Register.PC: base + code_offset,
+            Register.SP: base + stack_offset,
+            Register.LR: base + ((code_offset + 0x40) % size),
+        }
+
+    def crash(self, reason: str) -> None:
+        """Mark the guest as crashed (stops producing output)."""
+        self.state = GuestState.CRASHED
+        self.crash_reason = reason

@@ -1,0 +1,15 @@
+"""FreeRTOS-like real-time OS model (the non-root cell's inmate)."""
+
+from repro.guests.freertos.kernel import FreeRTOSKernel, KernelConfig
+from repro.guests.freertos.queue import MessageQueue
+from repro.guests.freertos.task import Task, TaskState
+from repro.guests.freertos.workloads import build_paper_workload
+
+__all__ = [
+    "FreeRTOSKernel",
+    "KernelConfig",
+    "MessageQueue",
+    "Task",
+    "TaskState",
+    "build_paper_workload",
+]

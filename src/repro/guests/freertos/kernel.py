@@ -1,0 +1,231 @@
+"""FreeRTOS-like kernel: fixed-priority preemptive scheduler plus trap model.
+
+The kernel schedules the paper's task set (blink, send/receive, floating
+point, integer) with fixed priorities, executes due task bodies each quantum,
+and reports the hypervisor traps the cell generates while doing so (WFI on
+idle, occasional system-register accesses, MMIO accesses to the ivshmem
+window, and rare debug-console hypercalls). Those traps are what the paper's
+medium-intensity campaign injects into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.guests.base import GuestEvent, GuestOS, GuestState
+from repro.guests.freertos.queue import MessageQueue
+from repro.guests.freertos.task import EffectKind, Task, TaskEffect, TaskState
+from repro.hw.registers import Register
+from repro.hypervisor.hypercalls import Hypercall
+from repro.hypervisor.ivshmem import IvshmemChannel
+from repro.hypervisor.traps import TrapCode
+from repro.errors import SchedulerError
+
+
+@dataclass
+class KernelConfig:
+    """Tuning knobs of the FreeRTOS model.
+
+    The trap probabilities are calibrated so the non-root cell takes roughly
+    25 hypervisor traps per second — the order of magnitude that makes the
+    paper's "one injection every 100 calls over a one-minute test" produce a
+    double-digit number of injections per test.
+    """
+
+    tick_period: float = 0.010          # 100 Hz tick, FreeRTOS default
+    wfi_probability: float = 0.35       # idle WFI trap per quantum
+    cp15_probability: float = 0.05      # system-register access per quantum
+    ivshmem_mmio_probability: float = 0.08
+    debug_putc_probability: float = 0.02
+    status_print_period: float = 1.0    # heartbeat line cadence per task group
+
+
+class FreeRTOSKernel(GuestOS):
+    """The non-root cell's RTOS."""
+
+    def __init__(self, name: str = "FreeRTOS", *, seed: int = 0,
+                 config: Optional[KernelConfig] = None) -> None:
+        super().__init__(name, seed=seed)
+        self.config = config or KernelConfig()
+        self.tasks: List[Task] = []
+        self.queues: Dict[str, MessageQueue] = {}
+        self.ivshmem: Optional[IvshmemChannel] = None
+        self.tick_count = 0
+        self.idle_ticks = 0
+        self.context_switches = 0
+        self.float_accumulator = 0.0
+        self.int_accumulator = 0
+        self._last_status_print = 0.0
+
+    # -- task and queue management -----------------------------------------------------
+
+    def create_task(self, task: Task) -> None:
+        """Register a task with the scheduler (unique names required)."""
+        if any(existing.name == task.name for existing in self.tasks):
+            raise SchedulerError(f"task {task.name!r} already exists")
+        self.tasks.append(task)
+
+    def create_queue(self, name: str, capacity: int = 16) -> MessageQueue:
+        if name in self.queues:
+            raise SchedulerError(f"queue {name!r} already exists")
+        queue = MessageQueue(name, capacity)
+        self.queues[name] = queue
+        return queue
+
+    def attach_ivshmem(self, channel: IvshmemChannel) -> None:
+        """Give the send/receive tasks an inter-cell channel to talk over."""
+        self.ivshmem = channel
+
+    def task_by_name(self, name: str) -> Optional[Task]:
+        for task in self.tasks:
+            if task.name == name:
+                return task
+        return None
+
+    def boot_banner(self) -> str:
+        return (
+            f"FreeRTOS V10 starting on cell \"{self.name}\" "
+            f"with {len(self.tasks)} tasks"
+        )
+
+    # -- scheduler --------------------------------------------------------------------------
+
+    def _ready_tasks(self, now: float) -> List[Task]:
+        for task in self.tasks:
+            task.release_if_due(now)
+        ready = [task for task in self.tasks if task.state is TaskState.READY]
+        # Fixed-priority: highest priority first, FIFO among equals (list order).
+        ready.sort(key=lambda task: -task.priority)
+        return ready
+
+    def step(self, cpu_id: int, now: float, dt: float) -> List[GuestEvent]:
+        """Run one scheduling quantum and return the traps it generated."""
+        if self.state is not GuestState.RUNNING:
+            return []
+        self.stats.steps += 1
+        ticks = max(1, int(round(dt / self.config.tick_period)))
+        self.tick_count += ticks
+
+        events: List[GuestEvent] = []
+        ready = self._ready_tasks(now)
+        if ready:
+            for task in ready:
+                self.context_switches += 1
+                for effect in task.run(now):
+                    self._apply_effect(task, effect, now)
+        else:
+            self.idle_ticks += ticks
+
+        self._maybe_print_status(now)
+        events.extend(self._generate_traps(cpu_id, now, idle=not ready))
+        self.stats.traps_generated += len(events)
+        return events
+
+    def _apply_effect(self, task: Task, effect: TaskEffect, now: float) -> None:
+        if effect.kind is EffectKind.PRINT:
+            self.console(f"[{task.name}] {effect.text}")
+        elif effect.kind is EffectKind.LED_TOGGLE:
+            if self.board is not None:
+                self.board.led.toggle()
+        elif effect.kind is EffectKind.QUEUE_SEND:
+            queue = self.queues.get(effect.queue_name)
+            if queue is not None:
+                queue.send(effect.payload, now=now)
+        elif effect.kind is EffectKind.QUEUE_RECEIVE:
+            queue = self.queues.get(effect.queue_name)
+            if queue is not None:
+                queue.receive()
+        elif effect.kind is EffectKind.IVSHMEM_SEND:
+            if self.ivshmem is not None and self.cell is not None:
+                payload = effect.payload
+                if not isinstance(payload, (bytes, bytearray)):
+                    payload = str(payload).encode()
+                self.ivshmem.send(self.cell.name, bytes(payload))
+        elif effect.kind is EffectKind.COMPUTE:
+            if isinstance(effect.value, float) and not float(effect.value).is_integer():
+                self.float_accumulator += effect.value
+            else:
+                self.int_accumulator += int(effect.value)
+
+    def _maybe_print_status(self, now: float) -> None:
+        if now - self._last_status_print < self.config.status_print_period:
+            return
+        self._last_status_print = now
+        alive = sum(1 for task in self.tasks if task.state is not TaskState.DELETED)
+        self.console(
+            f"tick={self.tick_count} tasks={alive} "
+            f"switches={self.context_switches} idle={self.idle_ticks}"
+        )
+
+    # -- trap generation ------------------------------------------------------------------------
+
+    def _generate_traps(self, cpu_id: int, now: float, *, idle: bool) -> List[GuestEvent]:
+        events: List[GuestEvent] = []
+        nominal = self.nominal_registers(cpu_id)
+        self.place_registers(cpu_id, nominal)
+
+        if idle and self.rng.random() < self.config.wfi_probability:
+            events.append(GuestEvent(trap=TrapCode.WFI, registers=dict(nominal),
+                                     description="idle loop WFI"))
+        if self.rng.random() < self.config.cp15_probability:
+            events.append(GuestEvent(trap=TrapCode.CP15_ACCESS,
+                                     registers=dict(nominal),
+                                     description="performance counter read"))
+        if self.ivshmem is not None and self.rng.random() < self.config.ivshmem_mmio_probability:
+            doorbell = self._ivshmem_doorbell_address()
+            if doorbell is not None:
+                events.append(
+                    GuestEvent(
+                        trap=TrapCode.DATA_ABORT,
+                        registers=dict(nominal),
+                        fault_address=doorbell,
+                        description="ivshmem doorbell write",
+                    )
+                )
+        if self.rng.random() < self.config.debug_putc_probability:
+            registers = dict(nominal)
+            registers[Register.R0] = int(Hypercall.DEBUG_CONSOLE_PUTC)
+            registers[Register.R1] = ord(".")
+            events.append(GuestEvent(trap=TrapCode.HYPERCALL, registers=registers,
+                                     description="debug console putc"))
+        return events
+
+    def _ivshmem_doorbell_address(self) -> Optional[int]:
+        if self.cell is None:
+            return None
+        mapping = self.cell.memory_map.find_by_name("ivshmem")
+        if mapping is None:
+            return None
+        return mapping.virt_start + 0x10
+
+    # -- interrupts and panic -----------------------------------------------------------------------
+
+    def on_interrupt(self, irq: int, cpu_id: int) -> None:
+        super().on_interrupt(irq, cpu_id)
+        if self.ivshmem is not None and irq == self.ivshmem.doorbell_irq:
+            self._drain_ivshmem(cpu_id)
+
+    def _drain_ivshmem(self, cpu_id: int) -> None:
+        assert self.ivshmem is not None and self.cell is not None
+        message = self.ivshmem.receive(self.cell.name)
+        while message is not None:
+            queue = self.queues.get("rx")
+            if queue is not None:
+                queue.send(message.payload, now=self.board.clock.now if self.board else 0.0)
+            message = self.ivshmem.receive(self.cell.name)
+
+    def on_system_panic(self, reason: str) -> None:
+        super().on_system_panic(reason)
+        # The cell's CPUs are parked; no further output will appear.
+
+    # -- health metrics used by tests and monitors -----------------------------------------------------
+
+    def healthy(self) -> bool:
+        """Whether the RTOS is still scheduling tasks."""
+        return self.state is GuestState.RUNNING and bool(self.tasks)
+
+    def runs_per_task(self) -> Dict[str, int]:
+        return {task.name: task.run_count for task in self.tasks}

@@ -1,0 +1,76 @@
+"""FreeRTOS-style message queue.
+
+The paper's workload includes "a couple of send/receive tasks"; they exchange
+messages over a bounded FIFO queue like FreeRTOS's ``xQueueSend`` /
+``xQueueReceive``. The queue is also used as the local endpoint of the
+inter-cell ivshmem channel in the communication example.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Optional
+
+from repro.errors import SchedulerError
+
+
+@dataclass(frozen=True)
+class QueueItem:
+    """One queued message."""
+
+    payload: Any
+    enqueued_at: float
+    sequence: int
+
+
+class MessageQueue:
+    """Bounded FIFO queue with send/receive counters."""
+
+    def __init__(self, name: str, capacity: int = 16) -> None:
+        if capacity <= 0:
+            raise SchedulerError(f"queue {name!r} must have positive capacity")
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[QueueItem] = deque()
+        self._sequence = 0
+        self.sent = 0
+        self.received = 0
+        self.dropped = 0
+        self.high_watermark = 0
+
+    def send(self, payload: Any, *, now: float = 0.0) -> bool:
+        """Enqueue a message; returns False (and counts a drop) when full."""
+        if len(self._items) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._sequence += 1
+        self._items.append(QueueItem(payload=payload, enqueued_at=now,
+                                     sequence=self._sequence))
+        self.sent += 1
+        self.high_watermark = max(self.high_watermark, len(self._items))
+        return True
+
+    def receive(self) -> Optional[QueueItem]:
+        """Dequeue the oldest message, or ``None`` when empty."""
+        if not self._items:
+            return None
+        self.received += 1
+        return self._items.popleft()
+
+    def peek(self) -> Optional[QueueItem]:
+        return self._items[0] if self._items else None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def clear(self) -> None:
+        self._items.clear()

@@ -1,0 +1,119 @@
+"""Discrete-event simulation clock.
+
+All components of the simulated board share a single :class:`SimulationClock`.
+Time is expressed in seconds as a float. Components can register periodic or
+one-shot callbacks; callbacks fire, in timestamp order, when the clock is
+advanced past their due time. The clock never moves backwards.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    due: float
+    sequence: int
+    callback: Callable[[float], None] = field(compare=False)
+    period: Optional[float] = field(compare=False, default=None)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`SimulationClock.schedule` used to cancel events."""
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (periodic events stop rescheduling)."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+
+class SimulationClock:
+    """Monotonic simulated clock with scheduled callbacks.
+
+    Parameters
+    ----------
+    start:
+        Initial simulated time in seconds.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._events: list[_ScheduledEvent] = []
+        self._counter = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[float], None],
+        *,
+        period: Optional[float] = None,
+    ) -> EventHandle:
+        """Schedule ``callback`` to fire ``delay`` seconds from now.
+
+        If ``period`` is given the callback re-arms itself every ``period``
+        seconds after the first firing. The callback receives the simulated
+        time at which it fires.
+        """
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        if period is not None and period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        event = _ScheduledEvent(
+            due=self._now + delay,
+            sequence=next(self._counter),
+            callback=callback,
+            period=period,
+        )
+        heapq.heappush(self._events, event)
+        return EventHandle(event)
+
+    def advance(self, duration: float) -> int:
+        """Advance simulated time by ``duration`` seconds, firing due events.
+
+        Returns the number of callbacks that fired. Events scheduled by
+        callbacks during the advance are honored if they fall inside the
+        window being advanced over.
+        """
+        if duration < 0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        target = self._now + duration
+        fired = 0
+        while self._events and self._events[0].due <= target:
+            event = heapq.heappop(self._events)
+            if event.cancelled:
+                continue
+            self._now = max(self._now, event.due)
+            event.callback(self._now)
+            fired += 1
+            if event.period is not None and not event.cancelled:
+                event.due = self._now + event.period
+                event.sequence = next(self._counter)
+                heapq.heappush(self._events, event)
+        self._now = target
+        return fired
+
+    def pending_events(self) -> int:
+        """Number of scheduled events that have not been cancelled."""
+        return sum(1 for event in self._events if not event.cancelled)
+
+    def cancel_all(self) -> None:
+        """Cancel every scheduled event (used on board reset)."""
+        for event in self._events:
+            event.cancelled = True
+        self._events.clear()

@@ -1,0 +1,157 @@
+"""CPU core model for the dual-core Cortex-A7.
+
+Each :class:`CpuCore` owns an architectural register file, a processor mode,
+and an availability state. The hypervisor uses the state machine to model CPU
+hotplug (bringing the non-root cell's core online), ``cpu_park()`` (the
+reaction to an unhandled trap, error code 0x24 in the paper), and the
+whole-system panic park.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import CpuStateError
+from repro.hw.registers import (
+    Register,
+    RegisterFile,
+    TrapContext,
+    make_cpsr,
+)
+
+
+class CpuMode(enum.Enum):
+    """ARMv7 processor modes relevant to the model."""
+
+    USR = "usr"
+    SVC = "svc"
+    IRQ = "irq"
+    HYP = "hyp"
+    MON = "mon"
+
+
+class CpuState(enum.Enum):
+    """Availability state of a core."""
+
+    OFFLINE = "offline"
+    ONLINE = "online"
+    WAIT_FOR_POWERON = "wait_for_poweron"
+    PARKED = "parked"
+    FAILED = "failed"
+
+
+@dataclass
+class ParkRecord:
+    """Why and when a CPU was parked."""
+
+    timestamp: float
+    reason: str
+    error_code: Optional[int] = None
+
+
+class CpuCore:
+    """One core of the simulated board."""
+
+    def __init__(self, cpu_id: int) -> None:
+        self.cpu_id = cpu_id
+        self.registers = RegisterFile()
+        self.mode = CpuMode.SVC
+        self.state = CpuState.OFFLINE
+        self.assigned_cell: Optional[int] = None
+        self.park_history: List[ParkRecord] = []
+        self._trap_entries = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def power_on(self, entry_point: int = 0x0, *, cell_id: Optional[int] = None) -> None:
+        """Bring the core online at ``entry_point`` (models CPU hotplug)."""
+        if self.state is CpuState.ONLINE:
+            raise CpuStateError(f"CPU {self.cpu_id} is already online")
+        self.registers.reset()
+        self.registers.write(Register.PC, entry_point)
+        self.registers.write(Register.CPSR, make_cpsr(0b10011, irq_masked=False))
+        self.mode = CpuMode.SVC
+        self.state = CpuState.ONLINE
+        if cell_id is not None:
+            self.assigned_cell = cell_id
+
+    def power_off(self) -> None:
+        """Take the core offline (models ``jailhouse cell shutdown``/hotunplug)."""
+        self.state = CpuState.OFFLINE
+        self.mode = CpuMode.SVC
+        self.assigned_cell = None
+
+    def park(self, reason: str, *, timestamp: float = 0.0,
+             error_code: Optional[int] = None) -> None:
+        """Park the core: it stops executing until reset (``cpu_park()``)."""
+        self.state = CpuState.PARKED
+        self.park_history.append(
+            ParkRecord(timestamp=timestamp, reason=reason, error_code=error_code)
+        )
+
+    def fail(self, reason: str, *, timestamp: float = 0.0) -> None:
+        """Mark the core as failed (fault left it in a non-executable state)."""
+        self.state = CpuState.FAILED
+        self.park_history.append(ParkRecord(timestamp=timestamp, reason=reason))
+
+    def reset(self) -> None:
+        """Warm reset: clears registers and returns the core to OFFLINE."""
+        self.registers.reset()
+        self.mode = CpuMode.SVC
+        self.state = CpuState.OFFLINE
+        self.assigned_cell = None
+
+    # -- execution helpers -------------------------------------------------------
+
+    @property
+    def is_executing(self) -> bool:
+        """Whether the core can currently run guest code."""
+        return self.state is CpuState.ONLINE
+
+    @property
+    def is_parked(self) -> bool:
+        return self.state is CpuState.PARKED
+
+    def enter_trap(self, vector: str, hsr: int, *, timestamp: float = 0.0) -> TrapContext:
+        """Capture the guest state into a :class:`TrapContext` at hypervisor entry.
+
+        This models the CPU switching to HYP mode and the hypervisor saving the
+        guest's registers on its per-CPU stack — the structure the paper's
+        fault injector corrupts.
+        """
+        if not self.is_executing:
+            raise CpuStateError(
+                f"CPU {self.cpu_id} cannot trap in state {self.state.value}"
+            )
+        self.mode = CpuMode.HYP
+        self._trap_entries += 1
+        return TrapContext(
+            cpu_id=self.cpu_id,
+            registers=self.registers.snapshot(),
+            hsr=hsr,
+            exception_vector=vector,
+            timestamp=timestamp,
+        )
+
+    def exit_trap(self, context: TrapContext) -> None:
+        """Restore the (possibly corrupted) context and return to guest mode."""
+        if self.state is not CpuState.ONLINE:
+            # A handler may have parked or failed the CPU; nothing to restore.
+            return
+        self.registers.load(
+            {reg: context.read(reg) for reg in context.corruptible_registers()}
+        )
+        self.mode = CpuMode.SVC
+
+    @property
+    def trap_entries(self) -> int:
+        """Total number of hypervisor entries taken by this core."""
+        return self._trap_entries
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CpuCore(id={self.cpu_id}, state={self.state.value}, "
+            f"mode={self.mode.value}, cell={self.assigned_cell})"
+        )

@@ -1,0 +1,253 @@
+"""Physical memory map with permission-checked access.
+
+The board exposes a flat 32-bit physical address space populated with
+:class:`MemoryRegion` objects (DRAM, MMIO windows, boot ROM). Reads and writes
+are checked against region boundaries and permission flags; violations raise
+:class:`~repro.errors.MemoryAccessError`, which is how the hypervisor model
+detects stage-2 faults and how the guest models detect wild pointers after a
+register corruption.
+
+Storage is sparse (page-granular dictionaries) so a 1 GB DRAM region costs
+nothing until it is touched.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import MemoryAccessError, RegionOverlapError
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+
+
+class MemoryFlags(enum.IntFlag):
+    """Access permissions and attributes of a memory region."""
+
+    READ = 1
+    WRITE = 2
+    EXECUTE = 4
+    IO = 8
+    RW = READ | WRITE
+    RWX = READ | WRITE | EXECUTE
+
+
+class AccessType(enum.Enum):
+    """Kind of memory access being performed."""
+
+    READ = "read"
+    WRITE = "write"
+    EXECUTE = "execute"
+
+    def required_flag(self) -> MemoryFlags:
+        if self is AccessType.READ:
+            return MemoryFlags.READ
+        if self is AccessType.WRITE:
+            return MemoryFlags.WRITE
+        return MemoryFlags.EXECUTE
+
+
+@dataclass(frozen=True)
+class MemoryRegion:
+    """A contiguous region of the physical address space."""
+
+    name: str
+    start: int
+    size: int
+    flags: MemoryFlags = MemoryFlags.RW
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"region {self.name!r} must have positive size")
+        if self.start < 0:
+            raise ValueError(f"region {self.name!r} must have non-negative start")
+
+    @property
+    def end(self) -> int:
+        """First address *after* the region."""
+        return self.start + self.size
+
+    def contains(self, address: int, size: int = 1) -> bool:
+        """Whether ``[address, address+size)`` lies entirely inside the region."""
+        return self.start <= address and address + size <= self.end
+
+    def overlaps(self, other: "MemoryRegion") -> bool:
+        """Whether this region shares any address with ``other``."""
+        return self.start < other.end and other.start < self.end
+
+    def permits(self, access: AccessType) -> bool:
+        """Whether the region's flags allow ``access``."""
+        return bool(self.flags & access.required_flag())
+
+    def describe(self) -> str:
+        perm = "".join(
+            letter if self.flags & flag else "-"
+            for letter, flag in (
+                ("r", MemoryFlags.READ),
+                ("w", MemoryFlags.WRITE),
+                ("x", MemoryFlags.EXECUTE),
+                ("i", MemoryFlags.IO),
+            )
+        )
+        return f"{self.name:<24} 0x{self.start:08x}-0x{self.end - 1:08x} {perm}"
+
+
+class PhysicalMemory:
+    """Sparse physical memory backed by named regions."""
+
+    def __init__(self, regions: Optional[Iterable[MemoryRegion]] = None) -> None:
+        self._regions: List[MemoryRegion] = []
+        self._pages: Dict[int, bytearray] = {}
+        self._mmio_handlers: Dict[str, "MmioHandler"] = {}
+        if regions:
+            for region in regions:
+                self.add_region(region)
+
+    # -- region management ---------------------------------------------------
+
+    def add_region(self, region: MemoryRegion) -> None:
+        """Register a region; overlapping regions are rejected."""
+        for existing in self._regions:
+            if existing.overlaps(region):
+                raise RegionOverlapError(
+                    f"region {region.name!r} overlaps {existing.name!r}"
+                )
+        self._regions.append(region)
+        self._regions.sort(key=lambda r: r.start)
+
+    def remove_region(self, name: str) -> None:
+        """Remove a region by name (its contents are dropped)."""
+        region = self.find_region_by_name(name)
+        if region is None:
+            raise KeyError(f"no region named {name!r}")
+        self._regions.remove(region)
+        first_page = region.start >> PAGE_SHIFT
+        last_page = (region.end - 1) >> PAGE_SHIFT
+        for page in range(first_page, last_page + 1):
+            self._pages.pop(page, None)
+
+    @property
+    def regions(self) -> Tuple[MemoryRegion, ...]:
+        return tuple(self._regions)
+
+    def find_region(self, address: int) -> Optional[MemoryRegion]:
+        """Region containing ``address``, or ``None``."""
+        for region in self._regions:
+            if region.contains(address):
+                return region
+        return None
+
+    def find_region_by_name(self, name: str) -> Optional[MemoryRegion]:
+        for region in self._regions:
+            if region.name == name:
+                return region
+        return None
+
+    def is_mapped(self, address: int, size: int = 1) -> bool:
+        """Whether the whole access window lies inside a single region."""
+        region = self.find_region(address)
+        return region is not None and region.contains(address, size)
+
+    # -- MMIO ------------------------------------------------------------------
+
+    def attach_mmio(self, region_name: str, handler: "MmioHandler") -> None:
+        """Attach an MMIO handler to an IO region."""
+        region = self.find_region_by_name(region_name)
+        if region is None:
+            raise KeyError(f"no region named {region_name!r}")
+        if not region.flags & MemoryFlags.IO:
+            raise ValueError(f"region {region_name!r} is not an IO region")
+        self._mmio_handlers[region_name] = handler
+
+    # -- access ----------------------------------------------------------------
+
+    def _check(self, address: int, size: int, access: AccessType) -> MemoryRegion:
+        region = self.find_region(address)
+        if region is None or not region.contains(address, size):
+            raise MemoryAccessError(address, size, access.value, "address not mapped")
+        if not region.permits(access):
+            raise MemoryAccessError(
+                address, size, access.value,
+                f"permission denied in region {region.name!r}",
+            )
+        return region
+
+    def read(self, address: int, size: int = 4) -> int:
+        """Read ``size`` bytes as a little-endian integer."""
+        region = self._check(address, size, AccessType.READ)
+        handler = self._mmio_handlers.get(region.name)
+        if handler is not None:
+            return handler.mmio_read(address - region.start, size)
+        return int.from_bytes(self._read_bytes(address, size), "little")
+
+    def write(self, address: int, value: int, size: int = 4) -> None:
+        """Write ``size`` bytes of a little-endian integer."""
+        region = self._check(address, size, AccessType.WRITE)
+        handler = self._mmio_handlers.get(region.name)
+        if handler is not None:
+            handler.mmio_write(address - region.start, value, size)
+            return
+        self._write_bytes(address, int(value).to_bytes(size, "little", signed=False))
+
+    def fetch(self, address: int, size: int = 4) -> int:
+        """Instruction fetch: like read but requires EXECUTE permission."""
+        self._check(address, size, AccessType.EXECUTE)
+        return int.from_bytes(self._read_bytes(address, size), "little")
+
+    def read_bytes(self, address: int, size: int) -> bytes:
+        """Read a raw byte string."""
+        self._check(address, size, AccessType.READ)
+        return bytes(self._read_bytes(address, size))
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        """Write a raw byte string."""
+        self._check(address, len(data), AccessType.WRITE)
+        self._write_bytes(address, data)
+
+    # -- sparse page storage -----------------------------------------------------
+
+    def _read_bytes(self, address: int, size: int) -> bytearray:
+        out = bytearray(size)
+        offset = 0
+        while offset < size:
+            page_index = (address + offset) >> PAGE_SHIFT
+            page_offset = (address + offset) & (PAGE_SIZE - 1)
+            chunk = min(size - offset, PAGE_SIZE - page_offset)
+            page = self._pages.get(page_index)
+            if page is not None:
+                out[offset:offset + chunk] = page[page_offset:page_offset + chunk]
+            offset += chunk
+        return out
+
+    def _write_bytes(self, address: int, data: bytes) -> None:
+        offset = 0
+        size = len(data)
+        while offset < size:
+            page_index = (address + offset) >> PAGE_SHIFT
+            page_offset = (address + offset) & (PAGE_SIZE - 1)
+            chunk = min(size - offset, PAGE_SIZE - page_offset)
+            page = self._pages.setdefault(page_index, bytearray(PAGE_SIZE))
+            page[page_offset:page_offset + chunk] = data[offset:offset + chunk]
+            offset += chunk
+
+    # -- introspection -------------------------------------------------------------
+
+    def resident_pages(self) -> int:
+        """Number of pages actually allocated by sparse storage."""
+        return len(self._pages)
+
+    def describe_map(self) -> str:
+        """Render the memory map as a table (one region per line)."""
+        return "\n".join(region.describe() for region in self._regions)
+
+
+class MmioHandler:
+    """Protocol for devices mapped into IO regions."""
+
+    def mmio_read(self, offset: int, size: int) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def mmio_write(self, offset: int, value: int, size: int) -> None:  # pragma: no cover
+        raise NotImplementedError

@@ -1,0 +1,144 @@
+"""UART (serial console) model.
+
+The paper's only observable is the board's serial output: each test sends its
+outcome "to an empty shell where the board serial port is connected", and the
+non-root cell's availability is judged by whether its FreeRTOS tasks keep
+printing. This module models a 16550-style UART whose transmit side is
+captured into a timestamped, source-tagged record list so monitors can ask
+"did cell X produce any output in the last N seconds?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from repro.hw.memory import MmioHandler
+
+#: Register offsets (subset of a 16550).
+UART_THR = 0x00   # transmit holding register
+UART_LSR = 0x14   # line status register
+UART_LSR_THRE = 1 << 5   # transmit holding register empty
+
+
+@dataclass(frozen=True)
+class UartRecord:
+    """One line of captured serial output."""
+
+    timestamp: float
+    source: str
+    text: str
+
+
+class Uart(MmioHandler):
+    """Serial port with per-source capture.
+
+    Writers either call :meth:`write_line` directly (the guest models do this,
+    tagging output with their cell name) or go through the MMIO interface (one
+    byte at a time to the THR register), in which case bytes are accumulated
+    until a newline.
+    """
+
+    def __init__(self, name: str = "uart0",
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        self.name = name
+        self._clock = clock or (lambda: 0.0)
+        self._records: List[UartRecord] = []
+        self._partial: dict[str, str] = {}
+        self._mmio_source = "mmio"
+
+    # -- direct (guest model) interface -----------------------------------------
+
+    def write_line(self, source: str, text: str) -> UartRecord:
+        """Append one full line of output attributed to ``source``."""
+        record = UartRecord(timestamp=self._clock(), source=source, text=text)
+        self._records.append(record)
+        return record
+
+    def write_char(self, source: str, char: str) -> None:
+        """Append a character; a newline flushes the pending line."""
+        if char == "\n":
+            pending = self._partial.pop(source, "")
+            self.write_line(source, pending)
+        else:
+            self._partial[source] = self._partial.get(source, "") + char
+
+    # -- MMIO interface -----------------------------------------------------------
+
+    def set_mmio_source(self, source: str) -> None:
+        """Attribute subsequent MMIO writes to ``source``."""
+        self._mmio_source = source
+
+    def mmio_read(self, offset: int, size: int) -> int:
+        if offset == UART_LSR:
+            return UART_LSR_THRE
+        return 0
+
+    def mmio_write(self, offset: int, value: int, size: int) -> None:
+        if offset == UART_THR:
+            self.write_char(self._mmio_source, chr(value & 0xFF))
+
+    # -- capture queries ------------------------------------------------------------
+
+    @property
+    def records(self) -> Tuple[UartRecord, ...]:
+        return tuple(self._records)
+
+    def lines(self, source: Optional[str] = None) -> List[str]:
+        """All captured lines, optionally filtered by source."""
+        return [
+            record.text
+            for record in self._records
+            if source is None or record.source == source
+        ]
+
+    def records_between(self, start: float, end: float,
+                        source: Optional[str] = None) -> List[UartRecord]:
+        """Records with ``start <= timestamp < end``."""
+        return [
+            record
+            for record in self._records
+            if start <= record.timestamp < end
+            and (source is None or record.source == source)
+        ]
+
+    def output_count(self, source: Optional[str] = None) -> int:
+        """Number of captured lines (optionally per source)."""
+        if source is None:
+            return len(self._records)
+        return sum(1 for record in self._records if record.source == source)
+
+    def sources(self) -> Tuple[str, ...]:
+        """Distinct sources that produced output, in first-seen order."""
+        seen: List[str] = []
+        for record in self._records:
+            if record.source not in seen:
+                seen.append(record.source)
+        return tuple(seen)
+
+    def last_output_time(self, source: Optional[str] = None) -> Optional[float]:
+        """Timestamp of the most recent line from ``source`` (or any source)."""
+        for record in reversed(self._records):
+            if source is None or record.source == source:
+                return record.timestamp
+        return None
+
+    def silent_since(self, timestamp: float, source: str) -> bool:
+        """Whether ``source`` has produced no output at or after ``timestamp``."""
+        last = self.last_output_time(source)
+        return last is None or last < timestamp
+
+    def clear(self) -> None:
+        """Drop all captured output (used between experiments)."""
+        self._records.clear()
+        self._partial.clear()
+
+    def dump(self, sources: Optional[Iterable[str]] = None) -> str:
+        """Render the capture as a log-file-style text blob."""
+        wanted = set(sources) if sources is not None else None
+        lines = []
+        for record in self._records:
+            if wanted is not None and record.source not in wanted:
+                continue
+            lines.append(f"[{record.timestamp:10.4f}] {record.source}: {record.text}")
+        return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Jailhouse-like partitioning hypervisor model.
+
+This subpackage models the static partitioning hypervisor assessed by the
+paper: a root cell plus statically configured non-root cells, each owning a
+disjoint set of CPUs, memory regions, and interrupt lines. The three
+virtualization entry points profiled by the paper —
+``arch_handle_hvc()``, ``arch_handle_trap()``, and ``irqchip_handle_irq()`` —
+are exposed as hookable handler methods so the fault-injection framework can
+corrupt the saved guest context exactly where the paper's patch does.
+"""
+
+from repro.hypervisor.cell import Cell, CellState
+from repro.hypervisor.config import CellConfig, ConsoleConfig, MemoryAssignment, SystemConfig
+from repro.hypervisor.core import Hypervisor, HypervisorEvent, HypervisorState
+from repro.hypervisor.handlers import ArchHandlers, TrapResult
+from repro.hypervisor.hypercalls import Hypercall, HypercallResult, ReturnCode
+from repro.hypervisor.ivshmem import IvshmemChannel
+from repro.hypervisor.paging import CellMemoryMap, Stage2Mapping
+from repro.hypervisor.traps import ExceptionClass, TrapCode
+from repro.hypervisor.cli import JailhouseCli
+
+__all__ = [
+    "ArchHandlers",
+    "Cell",
+    "CellConfig",
+    "CellMemoryMap",
+    "CellState",
+    "ConsoleConfig",
+    "ExceptionClass",
+    "Hypercall",
+    "HypercallResult",
+    "Hypervisor",
+    "HypervisorEvent",
+    "HypervisorState",
+    "IvshmemChannel",
+    "JailhouseCli",
+    "MemoryAssignment",
+    "ReturnCode",
+    "Stage2Mapping",
+    "SystemConfig",
+    "TrapCode",
+    "TrapResult",
+]

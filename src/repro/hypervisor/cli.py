@@ -1,0 +1,178 @@
+"""``jailhouse``-style management front-end.
+
+The root cell's Linux manages cells with the ``jailhouse`` command-line tool
+(``jailhouse enable``, ``jailhouse cell create/load/start/shutdown/destroy``).
+This module models that tool: every command is translated into the
+corresponding hypercall issued from the root cell's CPU, and the textual
+output mirrors the real tool so the examples and the paper's test procedure
+read naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import HypervisorError
+from repro.hypervisor.cell import LoadedImage
+from repro.hypervisor.config import CellConfig, SystemConfig
+from repro.hypervisor.core import Hypervisor, ManagementCallOutcome
+from repro.hypervisor.hypercalls import Hypercall, ReturnCode, RETURN_MESSAGES
+
+
+@dataclass
+class CliResult:
+    """Result of one CLI command."""
+
+    command: str
+    success: bool
+    output: str
+    code: int = 0
+
+
+class JailhouseCli:
+    """Management tool issuing hypercalls from the root cell."""
+
+    def __init__(self, hypervisor: Hypervisor, *, root_cpu: int = 0) -> None:
+        self._hv = hypervisor
+        self._root_cpu = root_cpu
+        self._staged_configs: Dict[str, int] = {}
+        self._created_cells: Dict[str, int] = {}
+        self.history: List[CliResult] = []
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _finish(self, command: str, success: bool, output: str,
+                code: int = 0) -> CliResult:
+        result = CliResult(command=command, success=success, output=output, code=code)
+        self.history.append(result)
+        return result
+
+    def _error_text(self, outcome: ManagementCallOutcome) -> str:
+        try:
+            message = RETURN_MESSAGES[ReturnCode(outcome.code)]
+        except ValueError:
+            message = f"error {outcome.code}"
+        return message
+
+    def _resolve_cell_id(self, name_or_id: "str | int") -> Optional[int]:
+        if isinstance(name_or_id, int):
+            return name_or_id
+        if name_or_id in self._created_cells:
+            return self._created_cells[name_or_id]
+        cell = self._hv.cell_by_name(name_or_id)
+        return cell.cell_id if cell is not None else None
+
+    # -- commands ----------------------------------------------------------------------
+
+    def enable(self, system_config: SystemConfig) -> CliResult:
+        """``jailhouse enable <sysconfig>``"""
+        try:
+            root = self._hv.enable(system_config)
+        except HypervisorError as exc:
+            return self._finish("enable", False, f"Error: {exc}")
+        return self._finish(
+            "enable", True, f"The Jailhouse is opening.\nRoot cell \"{root.name}\""
+        )
+
+    def disable(self) -> CliResult:
+        """``jailhouse disable``"""
+        outcome = self._hv.issue_hypercall(self._root_cpu, int(Hypercall.DISABLE))
+        if not outcome.ok:
+            return self._finish("disable", False,
+                                f"Error: {self._error_text(outcome)}", outcome.code)
+        return self._finish("disable", True, "The Jailhouse was closed.")
+
+    def cell_create(self, config: CellConfig) -> CliResult:
+        """``jailhouse cell create <cellconfig>``"""
+        address = self._hv.stage_config(config)
+        self._staged_configs[config.name] = address
+        outcome = self._hv.issue_hypercall(
+            self._root_cpu, int(Hypercall.CELL_CREATE), address
+        )
+        command = f"cell create {config.name}"
+        if not outcome.ok:
+            return self._finish(
+                command, False,
+                f"Error: {self._error_text(outcome)}", outcome.code,
+            )
+        self._created_cells[config.name] = outcome.code
+        return self._finish(command, True, f"Created cell \"{config.name}\"",
+                            outcome.code)
+
+    def cell_load(self, name_or_id: "str | int", image: LoadedImage) -> CliResult:
+        """``jailhouse cell load <cell> <image>``"""
+        cell_id = self._resolve_cell_id(name_or_id)
+        command = f"cell load {name_or_id}"
+        if cell_id is None:
+            return self._finish(command, False, "Error: No such cell",
+                                int(ReturnCode.ENOENT))
+        cell = self._hv.cell_by_id(cell_id)
+        if cell is None:
+            return self._finish(command, False, "Error: No such cell",
+                                int(ReturnCode.ENOENT))
+        try:
+            cell.load_image(image)
+        except HypervisorError as exc:
+            return self._finish(command, False, f"Error: {exc}",
+                                int(ReturnCode.EINVAL))
+        return self._finish(command, True,
+                            f"Loaded image into cell \"{cell.name}\"")
+
+    def cell_start(self, name_or_id: "str | int") -> CliResult:
+        """``jailhouse cell start <cell>``"""
+        cell_id = self._resolve_cell_id(name_or_id)
+        command = f"cell start {name_or_id}"
+        if cell_id is None:
+            return self._finish(command, False, "Error: No such cell",
+                                int(ReturnCode.ENOENT))
+        outcome = self._hv.issue_hypercall(
+            self._root_cpu, int(Hypercall.CELL_START), cell_id
+        )
+        if not outcome.ok:
+            return self._finish(command, False,
+                                f"Error: {self._error_text(outcome)}", outcome.code)
+        cell = self._hv.cell_by_id(cell_id)
+        name = cell.name if cell is not None else str(cell_id)
+        return self._finish(command, True, f"Started cell \"{name}\"")
+
+    def cell_shutdown(self, name_or_id: "str | int") -> CliResult:
+        """``jailhouse cell shutdown <cell>``"""
+        cell_id = self._resolve_cell_id(name_or_id)
+        command = f"cell shutdown {name_or_id}"
+        if cell_id is None:
+            return self._finish(command, False, "Error: No such cell",
+                                int(ReturnCode.ENOENT))
+        outcome = self._hv.issue_hypercall(
+            self._root_cpu, int(Hypercall.CELL_SET_LOADABLE), cell_id
+        )
+        if not outcome.ok:
+            return self._finish(command, False,
+                                f"Error: {self._error_text(outcome)}", outcome.code)
+        cell = self._hv.cell_by_id(cell_id)
+        name = cell.name if cell is not None else str(cell_id)
+        return self._finish(command, True, f"Cell \"{name}\" shut down")
+
+    def cell_destroy(self, name_or_id: "str | int") -> CliResult:
+        """``jailhouse cell destroy <cell>``"""
+        cell_id = self._resolve_cell_id(name_or_id)
+        command = f"cell destroy {name_or_id}"
+        if cell_id is None:
+            return self._finish(command, False, "Error: No such cell",
+                                int(ReturnCode.ENOENT))
+        outcome = self._hv.issue_hypercall(
+            self._root_cpu, int(Hypercall.CELL_DESTROY), cell_id
+        )
+        if not outcome.ok:
+            return self._finish(command, False,
+                                f"Error: {self._error_text(outcome)}", outcome.code)
+        name = next(
+            (n for n, cid in self._created_cells.items() if cid == cell_id),
+            str(cell_id),
+        )
+        self._created_cells.pop(name, None)
+        return self._finish(command, True, f"Closed cell \"{name}\"")
+
+    def cell_list(self) -> CliResult:
+        """``jailhouse cell list``"""
+        return self._finish("cell list", True, self._hv.cell_list())

@@ -1,0 +1,123 @@
+"""Hypercall interface of the Jailhouse model.
+
+The root cell manages non-root cells through hypercalls issued with the
+``hvc`` instruction; ``arch_handle_hvc()`` reads the hypercall number from
+``r0`` and its arguments from ``r1``/``r2``, dispatches, and writes the result
+back to ``r0``. The numbering and error codes follow Jailhouse v0.12 so the
+"invalid arguments" behaviour observed by the paper for corrupted high-
+intensity injections falls out of the same validation logic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class Hypercall(enum.IntEnum):
+    """Hypercall numbers (Jailhouse v0.12 ABI)."""
+
+    DISABLE = 0
+    CELL_CREATE = 1
+    CELL_START = 2
+    CELL_SET_LOADABLE = 3
+    CELL_DESTROY = 4
+    HYPERVISOR_GET_INFO = 5
+    CELL_GET_STATE = 6
+    CPU_GET_INFO = 7
+    DEBUG_CONSOLE_PUTC = 8
+
+
+class ReturnCode(enum.IntEnum):
+    """Hypercall return codes (negative errno convention)."""
+
+    SUCCESS = 0
+    EPERM = -1
+    ENOENT = -2
+    EIO = -5
+    ENOMEM = -12
+    EBUSY = -16
+    EEXIST = -17
+    EINVAL = -22
+    ENOSYS = -38
+
+    @classmethod
+    def describe(cls, value: int) -> str:
+        try:
+            return cls(value).name
+        except ValueError:
+            return f"unknown({value})"
+
+
+#: Human-readable message associated with each error, matching what the
+#: management tool prints ("Invalid argument" is the string the paper quotes).
+RETURN_MESSAGES = {
+    ReturnCode.SUCCESS: "Success",
+    ReturnCode.EPERM: "Operation not permitted",
+    ReturnCode.ENOENT: "No such cell",
+    ReturnCode.EIO: "Input/output error",
+    ReturnCode.ENOMEM: "Out of memory",
+    ReturnCode.EBUSY: "Device or resource busy",
+    ReturnCode.EEXIST: "Cell already exists",
+    ReturnCode.EINVAL: "Invalid argument",
+    ReturnCode.ENOSYS: "Function not implemented",
+}
+
+
+@dataclass(frozen=True)
+class HypercallRequest:
+    """A decoded hypercall as read out of the trap context."""
+
+    code: int
+    arg1: int = 0
+    arg2: int = 0
+    cpu_id: int = 0
+    cell_id: Optional[int] = None
+
+    def known(self) -> bool:
+        """Whether the code corresponds to a defined hypercall."""
+        try:
+            Hypercall(self.code)
+        except ValueError:
+            return False
+        return True
+
+    @property
+    def hypercall(self) -> Optional[Hypercall]:
+        try:
+            return Hypercall(self.code)
+        except ValueError:
+            return None
+
+
+@dataclass(frozen=True)
+class HypercallResult:
+    """Outcome of dispatching a hypercall."""
+
+    request: HypercallRequest
+    code: int
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.code >= 0
+
+    @property
+    def message(self) -> str:
+        try:
+            base = RETURN_MESSAGES[ReturnCode(self.code)]
+        except ValueError:
+            base = f"error {self.code}"
+        return f"{base}: {self.detail}" if self.detail else base
+
+
+def is_privileged(call: Hypercall) -> bool:
+    """Whether a hypercall may only be issued by the root cell."""
+    return call in {
+        Hypercall.DISABLE,
+        Hypercall.CELL_CREATE,
+        Hypercall.CELL_START,
+        Hypercall.CELL_SET_LOADABLE,
+        Hypercall.CELL_DESTROY,
+    }

@@ -1,0 +1,33 @@
+"""ISO 26262 / SEooC assessment layer.
+
+The purpose of the paper's fault-injection campaign is to provide the
+evidence required to treat the hypervisor as a *Safety Element out of Context*
+(SEooC) under ISO 26262: demonstrate that the element's failure behaviour is
+understood, that faults in one partition do not negatively affect the others,
+and quantify how often the error-detection mechanisms catch injected faults.
+This subpackage turns campaign results into that evidence: failure-mode
+mapping, isolation/diagnostic-coverage metrics, assumption-of-use validation,
+and a textual evidence report.
+"""
+
+from repro.safety.asil import AsilLevel, decomposition_pairs
+from repro.safety.evidence import EvidenceReport, build_evidence_report
+from repro.safety.failure_modes import FailureMode, classify_failure_mode, fmea_table
+from repro.safety.metrics import IsolationMetrics, compute_isolation_metrics
+from repro.safety.seooc import Assumption, AssumptionStatus, SeoocAssessment, default_assumptions
+
+__all__ = [
+    "AsilLevel",
+    "Assumption",
+    "AssumptionStatus",
+    "EvidenceReport",
+    "FailureMode",
+    "IsolationMetrics",
+    "SeoocAssessment",
+    "build_evidence_report",
+    "classify_failure_mode",
+    "compute_isolation_metrics",
+    "decomposition_pairs",
+    "default_assumptions",
+    "fmea_table",
+]

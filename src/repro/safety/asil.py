@@ -1,0 +1,89 @@
+"""Automotive Safety Integrity Levels (ASIL).
+
+ISO 26262 grades safety requirements from QM (quality management, no safety
+relevance) through ASIL A to ASIL D (most stringent). The paper's context is
+a mixed-criticality deployment where the partitions host functions of
+different ASIL; the decomposition rules say which pairs of lower levels may
+jointly implement a higher one, provided the elements are sufficiently
+independent — which is exactly the independence the fault-injection campaign
+probes.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Tuple
+
+from repro.errors import SafetyAssessmentError
+
+
+class AsilLevel(enum.IntEnum):
+    """ASIL grades, ordered by stringency."""
+
+    QM = 0
+    A = 1
+    B = 2
+    C = 3
+    D = 4
+
+    @classmethod
+    def from_name(cls, name: str) -> "AsilLevel":
+        normalized = name.strip().upper().replace("ASIL", "").replace("-", "").strip()
+        if normalized in ("QM", ""):
+            return cls.QM if normalized == "QM" else _raise_unknown(name)
+        try:
+            return cls[normalized]
+        except KeyError:
+            return _raise_unknown(name)
+
+    @property
+    def label(self) -> str:
+        return "QM" if self is AsilLevel.QM else f"ASIL {self.name}"
+
+    def is_at_least(self, other: "AsilLevel") -> bool:
+        return self >= other
+
+
+def _raise_unknown(name: str) -> "AsilLevel":
+    raise SafetyAssessmentError(f"unknown ASIL level {name!r}")
+
+
+#: ISO 26262-9 ASIL decomposition schemes: a requirement at the key level may
+#: be decomposed onto two sufficiently independent elements at the paired
+#: levels.
+_DECOMPOSITIONS = {
+    AsilLevel.D: [(AsilLevel.C, AsilLevel.A), (AsilLevel.B, AsilLevel.B),
+                  (AsilLevel.D, AsilLevel.QM)],
+    AsilLevel.C: [(AsilLevel.B, AsilLevel.A), (AsilLevel.C, AsilLevel.QM)],
+    AsilLevel.B: [(AsilLevel.A, AsilLevel.A), (AsilLevel.B, AsilLevel.QM)],
+    AsilLevel.A: [(AsilLevel.A, AsilLevel.QM)],
+    AsilLevel.QM: [],
+}
+
+
+def decomposition_pairs(level: AsilLevel) -> List[Tuple[AsilLevel, AsilLevel]]:
+    """Allowed decomposition pairs for a requirement at ``level``."""
+    return list(_DECOMPOSITIONS[level])
+
+
+def valid_decomposition(level: AsilLevel, first: AsilLevel,
+                        second: AsilLevel) -> bool:
+    """Whether ``(first, second)`` is an allowed decomposition of ``level``."""
+    pairs = _DECOMPOSITIONS[level]
+    return (first, second) in pairs or (second, first) in pairs
+
+
+def mixed_criticality_allowed(partition_levels: List[AsilLevel],
+                              isolation_demonstrated: bool) -> bool:
+    """Whether partitions of different ASIL may share the platform.
+
+    ISO 26262-6 requires freedom from interference between coexisting elements
+    of different ASIL; without demonstrated isolation every element must be
+    developed at the highest level present.
+    """
+    if not partition_levels:
+        raise SafetyAssessmentError("at least one partition level is required")
+    distinct = set(partition_levels)
+    if len(distinct) == 1:
+        return True
+    return isolation_demonstrated

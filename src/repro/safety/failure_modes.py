@@ -1,0 +1,144 @@
+"""Failure-mode analysis of campaign outcomes.
+
+ISO 26262 asks for failure modes to be analyzed "according to anomalous
+conditions"; the paper's outcome vocabulary maps naturally onto hypervisor
+failure modes with different safety impact. This module provides that mapping
+plus a compact FMEA-style table derived from a campaign.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.outcomes import Outcome
+from repro.core.recording import ExperimentRecord
+
+
+class FailureMode(enum.Enum):
+    """Hypervisor-level failure modes relevant to partitioning."""
+
+    NO_FAILURE = "no failure"
+    COMMON_CAUSE_FAILURE = "loss of partitioning (common-cause failure)"
+    PARTITION_LOSS_CONTAINED = "loss of one partition, contained"
+    SAFE_REJECTION = "management request rejected (fail-safe)"
+    UNDETECTED_PARTITION_LOSS = "partition lost without detection"
+    STATE_DIVERGENCE = "management state diverges from actual state"
+
+
+@dataclass(frozen=True)
+class FmeaEntry:
+    """One row of the FMEA-style table."""
+
+    failure_mode: FailureMode
+    outcome: Outcome
+    occurrences: int
+    fraction: float
+    severity: int           # 1 (negligible) .. 10 (catastrophic)
+    detectability: int      # 1 (always detected) .. 10 (undetectable)
+    effect: str
+
+    @property
+    def risk_priority(self) -> int:
+        """Simplified risk priority number (severity x detectability x share)."""
+        return int(round(self.severity * self.detectability * self.fraction * 100))
+
+
+_MODE_MAP: Dict[Outcome, FailureMode] = {
+    Outcome.CORRECT: FailureMode.NO_FAILURE,
+    Outcome.PANIC_PARK: FailureMode.COMMON_CAUSE_FAILURE,
+    Outcome.CPU_PARK: FailureMode.PARTITION_LOSS_CONTAINED,
+    Outcome.INVALID_ARGUMENTS: FailureMode.SAFE_REJECTION,
+    Outcome.INCONSISTENT_STATE: FailureMode.STATE_DIVERGENCE,
+    Outcome.SILENT_FAILURE: FailureMode.UNDETECTED_PARTITION_LOSS,
+}
+
+_SEVERITY: Dict[FailureMode, int] = {
+    FailureMode.NO_FAILURE: 1,
+    FailureMode.COMMON_CAUSE_FAILURE: 10,
+    FailureMode.PARTITION_LOSS_CONTAINED: 6,
+    FailureMode.SAFE_REJECTION: 2,
+    FailureMode.UNDETECTED_PARTITION_LOSS: 9,
+    FailureMode.STATE_DIVERGENCE: 8,
+}
+
+_DETECTABILITY: Dict[FailureMode, int] = {
+    FailureMode.NO_FAILURE: 1,
+    FailureMode.COMMON_CAUSE_FAILURE: 2,   # a kernel panic is very visible
+    FailureMode.PARTITION_LOSS_CONTAINED: 3,
+    FailureMode.SAFE_REJECTION: 1,
+    FailureMode.UNDETECTED_PARTITION_LOSS: 9,
+    FailureMode.STATE_DIVERGENCE: 8,       # the paper calls this "particularly dangerous"
+}
+
+_EFFECTS: Dict[FailureMode, str] = {
+    FailureMode.NO_FAILURE: "mission continues unaffected",
+    FailureMode.COMMON_CAUSE_FAILURE:
+        "fault propagates across partitions; every hosted function is lost",
+    FailureMode.PARTITION_LOSS_CONTAINED:
+        "one partition stops; remaining partitions keep their resources",
+    FailureMode.SAFE_REJECTION:
+        "requested operation refused; system stays in its previous safe state",
+    FailureMode.UNDETECTED_PARTITION_LOSS:
+        "partition output stops with no error indication to the integrator",
+    FailureMode.STATE_DIVERGENCE:
+        "management interface reports a running partition that is actually dead",
+}
+
+
+def classify_failure_mode(outcome: Outcome) -> FailureMode:
+    """Map a per-test outcome to its hypervisor failure mode."""
+    return _MODE_MAP[outcome]
+
+
+def severity(mode: FailureMode) -> int:
+    return _SEVERITY[mode]
+
+
+def detectability(mode: FailureMode) -> int:
+    return _DETECTABILITY[mode]
+
+
+def fmea_table(records: Sequence[ExperimentRecord]) -> List[FmeaEntry]:
+    """Build the FMEA-style table for a campaign (one row per observed outcome)."""
+    total = len(records)
+    entries: List[FmeaEntry] = []
+    if total == 0:
+        return entries
+    counts: Dict[Outcome, int] = {}
+    for record in records:
+        outcome = record.outcome_enum
+        counts[outcome] = counts.get(outcome, 0) + 1
+    for outcome, occurrences in sorted(counts.items(), key=lambda item: item[0].value):
+        mode = classify_failure_mode(outcome)
+        entries.append(
+            FmeaEntry(
+                failure_mode=mode,
+                outcome=outcome,
+                occurrences=occurrences,
+                fraction=occurrences / total,
+                severity=_SEVERITY[mode],
+                detectability=_DETECTABILITY[mode],
+                effect=_EFFECTS[mode],
+            )
+        )
+    entries.sort(key=lambda entry: -entry.risk_priority)
+    return entries
+
+
+def format_fmea(entries: Sequence[FmeaEntry]) -> str:
+    """Render the FMEA table as text."""
+    if not entries:
+        return "(no experiments)"
+    lines = [
+        f"{'failure mode':<48} {'outcome':<20} {'share':>7} {'sev':>4} {'det':>4} {'RPN':>5}",
+    ]
+    lines.append("-" * len(lines[0]))
+    for entry in entries:
+        lines.append(
+            f"{entry.failure_mode.value:<48} {entry.outcome.value:<20} "
+            f"{entry.fraction * 100:6.1f}% {entry.severity:>4} "
+            f"{entry.detectability:>4} {entry.risk_priority:>5}"
+        )
+    return "\n".join(lines)

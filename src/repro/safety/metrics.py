@@ -1,0 +1,102 @@
+"""Isolation and diagnostic-coverage metrics.
+
+These metrics condense a fault-injection campaign into the numbers an ISO
+26262 integrator needs when judging the hypervisor as a SEooC:
+
+* **containment rate** — among tests where the fault had any effect, how often
+  the effect stayed inside the targeted partition (the paper's CPU-park and
+  invalid-argument outcomes) rather than propagating (panic park);
+* **detection coverage** — how often an activated fault produced an explicit
+  error indication rather than silent misbehaviour (silent failures and the
+  "inconsistent state" finding count against it);
+* **availability** — fraction of tests in which the non-critical and critical
+  partitions kept delivering their service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.analysis.stats import ProportionSummary, summarize_proportion
+from repro.core.outcomes import Outcome
+from repro.core.recording import ExperimentRecord
+
+#: Outcomes whose effect stays inside the targeted partition.
+CONTAINED_OUTCOMES = frozenset(
+    {Outcome.CPU_PARK, Outcome.INVALID_ARGUMENTS, Outcome.INCONSISTENT_STATE}
+)
+#: Outcomes where the fault escaped the targeted partition.
+PROPAGATED_OUTCOMES = frozenset({Outcome.PANIC_PARK, Outcome.SILENT_FAILURE})
+#: Outcomes that come with an explicit, observable error indication.
+DETECTED_OUTCOMES = frozenset(
+    {Outcome.PANIC_PARK, Outcome.CPU_PARK, Outcome.INVALID_ARGUMENTS}
+)
+
+
+@dataclass(frozen=True)
+class IsolationMetrics:
+    """Campaign-level isolation and coverage metrics."""
+
+    total_tests: int
+    effective_tests: int              # tests where the fault had any effect
+    containment: ProportionSummary    # contained / effective
+    detection: ProportionSummary      # detected / effective
+    target_availability: ProportionSummary   # tests with target cell still serving
+    system_availability: ProportionSummary   # tests without whole-system failure
+
+    def describe(self) -> str:
+        return "\n".join(
+            [
+                f"tests: {self.total_tests} (with observable effect: {self.effective_tests})",
+                f"containment       : {self.containment.describe()}",
+                f"detection coverage: {self.detection.describe()}",
+                f"target availability: {self.target_availability.describe()}",
+                f"system availability: {self.system_availability.describe()}",
+            ]
+        )
+
+
+def compute_isolation_metrics(records: Sequence[ExperimentRecord]) -> IsolationMetrics:
+    """Compute isolation metrics over a campaign's records."""
+    total = len(records)
+    outcomes = [record.outcome_enum for record in records]
+    effective = [outcome for outcome in outcomes if outcome is not Outcome.CORRECT]
+    contained = sum(1 for outcome in effective if outcome in CONTAINED_OUTCOMES)
+    detected = sum(1 for outcome in effective if outcome in DETECTED_OUTCOMES)
+    target_available = sum(
+        1 for outcome in outcomes
+        if outcome in (Outcome.CORRECT, Outcome.INVALID_ARGUMENTS)
+    )
+    system_available = sum(
+        1 for outcome in outcomes if outcome is not Outcome.PANIC_PARK
+    )
+    return IsolationMetrics(
+        total_tests=total,
+        effective_tests=len(effective),
+        containment=summarize_proportion(contained, len(effective)),
+        detection=summarize_proportion(detected, len(effective)),
+        target_availability=summarize_proportion(target_available, total),
+        system_availability=summarize_proportion(system_available, total),
+    )
+
+
+def compare_metrics(metrics: Dict[str, IsolationMetrics]) -> str:
+    """Render a side-by-side comparison of isolation metrics per system."""
+    if not metrics:
+        return "(no systems)"
+    header = (
+        f"{'system':<16} {'tests':>6} {'containment':>12} {'detection':>10} "
+        f"{'target avail':>13} {'system avail':>13}"
+    )
+    lines = [header, "-" * len(header)]
+    for name in sorted(metrics):
+        value = metrics[name]
+        lines.append(
+            f"{name:<16} {value.total_tests:>6} "
+            f"{value.containment.fraction * 100:>11.1f}% "
+            f"{value.detection.fraction * 100:>9.1f}% "
+            f"{value.target_availability.fraction * 100:>12.1f}% "
+            f"{value.system_availability.fraction * 100:>12.1f}%"
+        )
+    return "\n".join(lines)

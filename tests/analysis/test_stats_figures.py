@@ -1,0 +1,95 @@
+"""Tests for the statistics helpers and ASCII figure rendering."""
+
+import pytest
+
+from repro.analysis.figures import ascii_bar_chart, ascii_pie_summary, ascii_series_table
+from repro.analysis.stats import (
+    proportion_confidence_interval,
+    required_sample_size,
+    summarize_proportion,
+)
+from repro.errors import AnalysisError
+
+
+class TestWilsonInterval:
+    def test_interval_brackets_the_point_estimate(self):
+        low, high = proportion_confidence_interval(30, 100)
+        assert low < 0.3 < high
+        assert 0.0 <= low and high <= 1.0
+
+    def test_zero_and_full_counts(self):
+        low, high = proportion_confidence_interval(0, 50)
+        assert low == 0.0 and high > 0.0
+        low, high = proportion_confidence_interval(50, 50)
+        assert high == 1.0 and low < 1.0
+
+    def test_empty_sample_gives_degenerate_interval(self):
+        assert proportion_confidence_interval(0, 0) == (0.0, 0.0)
+
+    def test_interval_narrows_with_sample_size(self):
+        small = proportion_confidence_interval(3, 10)
+        large = proportion_confidence_interval(300, 1000)
+        assert (large[1] - large[0]) < (small[1] - small[0])
+
+    def test_invalid_counts_are_rejected(self):
+        with pytest.raises(AnalysisError):
+            proportion_confidence_interval(-1, 10)
+        with pytest.raises(AnalysisError):
+            proportion_confidence_interval(11, 10)
+
+    def test_summary_describe(self):
+        summary = summarize_proportion(6, 20)
+        assert summary.fraction == pytest.approx(0.3)
+        assert summary.ci_width > 0
+        assert "6/20" in summary.describe()
+        assert summarize_proportion(0, 0).fraction == 0.0
+
+
+class TestSampleSizing:
+    def test_paper_sized_campaign(self):
+        # Estimating a ~30% panic share within +/-5 points needs ~320 tests.
+        n = required_sample_size(0.30, 0.05)
+        assert 300 <= n <= 340
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            required_sample_size(0.0, 0.05)
+        with pytest.raises(AnalysisError):
+            required_sample_size(0.3, 0.0)
+
+
+class TestAsciiFigures:
+    def test_bar_chart_contains_labels_and_bars(self):
+        chart = ascii_bar_chart({"correct": 0.65, "panic park": 0.30},
+                                title="Figure 3")
+        assert "Figure 3" in chart
+        assert "correct" in chart and "panic park" in chart
+        assert "65.0%" in chart and "30.0%" in chart
+        assert "#" in chart
+
+    def test_bar_chart_clamps_out_of_range_values(self):
+        chart = ascii_bar_chart({"overflow": 1.7, "negative": -0.3})
+        assert "100.0%" in chart and "  0.0%" in chart
+
+    def test_bar_chart_empty_and_invalid_width(self):
+        assert "(no data)" in ascii_bar_chart({})
+        with pytest.raises(AnalysisError):
+            ascii_bar_chart({"x": 0.5}, width=0)
+
+    def test_pie_summary_sorted_by_share(self):
+        text = ascii_pie_summary({"cpu park": 0.05, "correct": 0.65,
+                                  "panic park": 0.30})
+        assert text.startswith("correct")
+        assert "panic park 30.0%" in text
+        assert ascii_pie_summary({}) == "(no data)"
+
+    def test_series_table_rendering_and_validation(self):
+        table = ascii_series_table(
+            [(25, 0.5, 0.4), (100, 0.65, 0.3)],
+            headers=["rate", "correct", "panic"],
+        )
+        assert "rate" in table and "0.650" in table
+        with pytest.raises(AnalysisError):
+            ascii_series_table([(1, 2)], headers=["a", "b", "c"])
+        with pytest.raises(AnalysisError):
+            ascii_series_table([], headers=[])

@@ -1,0 +1,106 @@
+"""Tests for the Bao-like and no-isolation baselines."""
+
+import pytest
+
+from repro.baselines.bao import BaoLikeSUT, bao_sut_factory
+from repro.baselines.nohv import NoIsolationSUT, no_isolation_sut_factory
+from repro.core.faultmodels import RegisterClassBitFlip
+from repro.core.injection import FaultInjector
+from repro.core.outcomes import Outcome, OutcomeClassifier
+from repro.core.sut import SutConfig
+from repro.core.targets import InjectionTarget
+from repro.core.triggers import EveryNCalls
+from repro.hw.registers import RegisterClass
+
+
+def boot(sut):
+    sut.setup()
+    management = sut.perform_cell_lifecycle()
+    assert management.create_succeeded and management.start_succeeded
+    return sut
+
+
+def pc_corrupting_injector(seed: int = 1) -> FaultInjector:
+    """An injector that quickly corrupts the non-root guest's program counter."""
+    return FaultInjector(
+        target=InjectionTarget.nonroot_cpu_trap(),
+        trigger=EveryNCalls(5),
+        fault_model=RegisterClassBitFlip(RegisterClass.PROGRAM_COUNTER),
+        seed=seed,
+    )
+
+
+def sp_corrupting_injector(seed: int = 1) -> FaultInjector:
+    return FaultInjector(
+        target=InjectionTarget.nonroot_cpu_trap(),
+        trigger=EveryNCalls(5),
+        fault_model=RegisterClassBitFlip(RegisterClass.STACK_POINTER),
+        seed=seed,
+    )
+
+
+class TestBaoLikeBaseline:
+    def test_factory_and_policy_flag(self):
+        sut = bao_sut_factory(3)
+        assert isinstance(sut, BaoLikeSUT)
+        assert sut.hypervisor.contains_guest_faults
+        assert not sut.hypervisor.escalate_parks_to_panic
+
+    def test_workload_runs_identically_fault_free(self):
+        sut = boot(BaoLikeSUT(SutConfig(seed=2)))
+        sut.run(3.0)
+        evidence = sut.evidence(0.0, sut.now)
+        assert evidence.availability["FreeRTOS"].available
+        assert not evidence.observation.panicked
+
+    def test_guest_pc_corruption_is_contained_to_the_cell(self):
+        sut = boot(BaoLikeSUT(SutConfig(seed=4)))
+        injector = pc_corrupting_injector()
+        sut.install_injector(injector)
+        start = sut.now
+        injector.arm()
+        sut.run(30.0)
+        evidence = sut.evidence(start, sut.now)
+        # Under Jailhouse this workload panics the whole system; the Bao-like
+        # containment policy keeps the root cell alive.
+        assert not evidence.observation.panicked
+        assert evidence.availability["BananaPi-Linux"].lines > 0
+        outcome = OutcomeClassifier().classify(evidence).outcome
+        assert outcome in (Outcome.CPU_PARK, Outcome.CORRECT)
+
+
+class TestNoIsolationBaseline:
+    def test_factory_and_policy_flag(self):
+        sut = no_isolation_sut_factory(3)
+        assert isinstance(sut, NoIsolationSUT)
+        assert sut.hypervisor.escalate_parks_to_panic
+
+    def test_unhandled_fault_takes_the_whole_system_down(self):
+        sut = boot(NoIsolationSUT(SutConfig(seed=5)))
+        injector = sp_corrupting_injector()
+        sut.install_injector(injector)
+        sut.freertos.stack_use_probability = 1.0
+        start = sut.now
+        injector.arm()
+        sut.run(30.0)
+        evidence = sut.evidence(start, sut.now)
+        # What would have been a contained CPU park escalates to a system panic.
+        assert evidence.observation.panicked
+        outcome = OutcomeClassifier().classify(evidence).outcome
+        assert outcome is Outcome.PANIC_PARK
+
+
+class TestJailhouseReference:
+    def test_same_sp_fault_is_contained_by_jailhouse(self, booted_sut):
+        injector = sp_corrupting_injector()
+        booted_sut.install_injector(injector)
+        booted_sut.freertos.stack_use_probability = 1.0
+        start = booted_sut.now
+        injector.arm()
+        booted_sut.run(30.0)
+        evidence = booted_sut.evidence(start, booted_sut.now)
+        assert not evidence.observation.panicked
+        outcome = OutcomeClassifier().classify(evidence).outcome
+        assert outcome is Outcome.CPU_PARK
+        # Root cell kept running: the paper's isolation claim.
+        assert evidence.availability["BananaPi-Linux"].lines > 0

@@ -1,0 +1,99 @@
+"""Tests for the repro-fi command-line front-end."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.recording import RecordStore
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestParser:
+    def test_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults_of_the_campaign_subcommand(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.intensity == "medium"
+        assert args.handler == "arch_handle_trap"
+        assert args.cpu == 1
+        assert args.scenario == "steady-state"
+
+    def test_unknown_choice_is_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--intensity", "extreme"])
+
+
+class TestGolden:
+    def test_golden_run_reports_handler_calls(self, capsys):
+        code, out, _ = run_cli(capsys, "golden", "--duration", "5")
+        assert code == 0
+        assert "handler calls" in out
+        assert "arch_handle_trap" in out
+
+
+class TestFig3AndCampaign:
+    def test_fig3_prints_the_figure_and_saves_records(self, capsys, tmp_path):
+        output = tmp_path / "fig3.jsonl"
+        code, out, _ = run_cli(
+            capsys, "fig3", "--tests", "3", "--duration", "5",
+            "--output", str(output),
+        )
+        assert code == 0
+        assert "Figure 3" in out
+        assert "paper" in out
+        assert len(RecordStore(output).load()) == 3
+
+    def test_custom_campaign_runs_and_reports(self, capsys, tmp_path):
+        output = tmp_path / "campaign.jsonl"
+        code, out, _ = run_cli(
+            capsys, "campaign", "--tests", "2", "--duration", "5",
+            "--handler", "arch_handle_trap", "--cpu", "1",
+            "--output", str(output), "--verbose",
+        )
+        assert code == 0
+        assert "Campaign:" in out
+        assert "outcomes" in out
+        assert len(RecordStore(output).load()) == 2
+
+    def test_negative_cpu_disables_the_filter(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "campaign", "--tests", "2", "--duration", "3", "--cpu", "-1",
+        )
+        assert code == 0
+
+
+class TestReportAndSeooc:
+    @pytest.fixture
+    def saved_records(self, capsys, tmp_path):
+        output = tmp_path / "records.jsonl"
+        run_cli(capsys, "fig3", "--tests", "3", "--duration", "5",
+                "--output", str(output))
+        return output
+
+    def test_report_styles(self, capsys, saved_records):
+        for style in ("distribution", "figure3", "management"):
+            code, out, _ = run_cli(capsys, "report", str(saved_records),
+                                   "--style", style)
+            assert code == 0
+            assert out.strip()
+
+    def test_report_on_missing_file_fails(self, capsys, tmp_path):
+        code, _, err = run_cli(capsys, "report", str(tmp_path / "nope.jsonl"))
+        assert code == 1
+        assert "no records" in err
+
+    def test_seooc_builds_an_evidence_report(self, capsys, saved_records):
+        code, out, _ = run_cli(capsys, "seooc", str(saved_records))
+        assert code in (0, 2)   # ready or not, depending on observed outcomes
+        assert "SEooC assessment evidence" in out
+        assert "Assumptions of use" in out
+
+    def test_seooc_with_no_usable_files_fails(self, capsys, tmp_path):
+        code, _, err = run_cli(capsys, "seooc", str(tmp_path / "empty.jsonl"))
+        assert code == 1

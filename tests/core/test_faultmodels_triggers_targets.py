@@ -1,0 +1,210 @@
+"""Tests for fault models, triggers, and injection targets."""
+
+import numpy as np
+import pytest
+
+from repro.core.faultmodels import (
+    MultiBitBurst,
+    MultiRegisterBitFlip,
+    RegisterClassBitFlip,
+    SingleBitFlip,
+    StuckAtFault,
+)
+from repro.core.targets import InjectionTarget
+from repro.core.triggers import (
+    BurstTrigger,
+    EveryNCalls,
+    OneShotAtCall,
+    ProbabilisticTrigger,
+)
+from repro.errors import InjectionError, TargetError
+from repro.hw.registers import (
+    ARCHITECTURAL_REGISTERS,
+    Register,
+    RegisterClass,
+    TrapContext,
+)
+from repro.hypervisor.handlers import HANDLER_HVC, HANDLER_IRQCHIP, HANDLER_TRAP
+
+
+def fresh_context() -> TrapContext:
+    return TrapContext(cpu_id=1, registers={reg: 0x1111_0000 for reg in
+                                            ARCHITECTURAL_REGISTERS})
+
+
+class TestSingleBitFlip:
+    def test_flips_exactly_one_bit_of_one_register(self):
+        rng = np.random.default_rng(0)
+        context = fresh_context()
+        before = context.copy()
+        faults = SingleBitFlip().apply(context, rng)
+        assert len(faults) == 1
+        fault = faults[0]
+        assert fault.value_before ^ fault.value_after == 1 << fault.bit
+        assert len(before.diff(context)) == 1
+
+    def test_uses_only_architectural_registers(self):
+        rng = np.random.default_rng(1)
+        registers = {SingleBitFlip().apply(fresh_context(), rng)[0].register
+                     for _ in range(200)}
+        assert registers <= set(ARCHITECTURAL_REGISTERS)
+
+    def test_restricted_register_set(self):
+        rng = np.random.default_rng(2)
+        model = SingleBitFlip(registers=[Register.PC])
+        for _ in range(10):
+            assert model.apply(fresh_context(), rng)[0].register is Register.PC
+
+    def test_empty_register_set_rejected(self):
+        with pytest.raises(InjectionError):
+            SingleBitFlip(registers=[])
+
+    def test_is_deterministic_for_a_given_rng_state(self):
+        a = SingleBitFlip().apply(fresh_context(), np.random.default_rng(7))
+        b = SingleBitFlip().apply(fresh_context(), np.random.default_rng(7))
+        assert a == b
+
+
+class TestMultiRegisterBitFlip:
+    def test_corrupts_the_requested_number_of_distinct_registers(self):
+        rng = np.random.default_rng(3)
+        faults = MultiRegisterBitFlip(count=4).apply(fresh_context(), rng)
+        assert len(faults) == 4
+        assert len({fault.register for fault in faults}) == 4
+
+    def test_count_validation(self):
+        with pytest.raises(InjectionError):
+            MultiRegisterBitFlip(count=0)
+        with pytest.raises(InjectionError):
+            MultiRegisterBitFlip(count=50)
+
+    def test_describes_itself(self):
+        assert "multi-register" in MultiRegisterBitFlip().describe()
+
+
+class TestOtherModels:
+    def test_register_class_model_stays_in_class(self):
+        rng = np.random.default_rng(4)
+        model = RegisterClassBitFlip(RegisterClass.PROGRAM_COUNTER)
+        for _ in range(10):
+            assert model.apply(fresh_context(), rng)[0].register is Register.PC
+        gpr_model = RegisterClassBitFlip(RegisterClass.GENERAL_PURPOSE)
+        fault = gpr_model.apply(fresh_context(), rng)[0]
+        assert fault.register_class is RegisterClass.GENERAL_PURPOSE
+
+    def test_burst_flips_adjacent_bits_of_one_register(self):
+        rng = np.random.default_rng(5)
+        faults = MultiBitBurst(burst_length=3).apply(fresh_context(), rng)
+        assert len(faults) == 3
+        assert len({fault.register for fault in faults}) == 1
+        bits = sorted(fault.bit for fault in faults)
+        assert bits == list(range(bits[0], bits[0] + 3))
+
+    def test_burst_length_validation(self):
+        with pytest.raises(InjectionError):
+            MultiBitBurst(burst_length=0)
+        with pytest.raises(InjectionError):
+            MultiBitBurst(burst_length=64)
+
+    def test_stuck_at_forces_all_zeros_or_ones(self):
+        rng = np.random.default_rng(6)
+        context = fresh_context()
+        fault = StuckAtFault(0).apply(context, rng)[0]
+        assert context.read(fault.register) == 0
+        fault = StuckAtFault(1).apply(context, rng)[0]
+        assert context.read(fault.register) == 0xFFFF_FFFF
+        with pytest.raises(InjectionError):
+            StuckAtFault(7)
+
+    def test_applied_fault_describe(self):
+        rng = np.random.default_rng(8)
+        fault = SingleBitFlip().apply(fresh_context(), rng)[0]
+        text = fault.describe()
+        assert "bit" in text and "->" in text
+
+
+class TestTriggers:
+    def test_every_n_calls_fires_on_multiples(self):
+        rng = np.random.default_rng(0)
+        trigger = EveryNCalls(100)
+        fired = [index for index in range(1, 501)
+                 if trigger.should_fire(index, rng)]
+        assert fired == [100, 200, 300, 400, 500]
+
+    def test_every_n_calls_with_offset(self):
+        rng = np.random.default_rng(0)
+        trigger = EveryNCalls(50, offset=10)
+        assert not trigger.should_fire(50, rng)
+        assert trigger.should_fire(60, rng)
+
+    def test_every_n_calls_validation(self):
+        with pytest.raises(InjectionError):
+            EveryNCalls(0)
+        with pytest.raises(InjectionError):
+            EveryNCalls(10, offset=-1)
+
+    def test_probabilistic_trigger_matches_its_rate(self):
+        rng = np.random.default_rng(1)
+        trigger = ProbabilisticTrigger(0.25)
+        fired = sum(trigger.should_fire(i, rng) for i in range(4000))
+        assert 800 <= fired <= 1200
+
+    def test_probabilistic_trigger_extremes_and_validation(self):
+        rng = np.random.default_rng(2)
+        assert not any(ProbabilisticTrigger(0.0).should_fire(i, rng) for i in range(50))
+        assert all(ProbabilisticTrigger(1.0).should_fire(i, rng) for i in range(50))
+        with pytest.raises(InjectionError):
+            ProbabilisticTrigger(1.5)
+
+    def test_one_shot_fires_exactly_once_and_resets(self):
+        rng = np.random.default_rng(3)
+        trigger = OneShotAtCall(5)
+        fired = [index for index in range(1, 20) if trigger.should_fire(index, rng)]
+        assert fired == [5]
+        trigger.reset()
+        assert trigger.should_fire(7, rng)
+
+    def test_burst_trigger_fires_in_bursts(self):
+        rng = np.random.default_rng(4)
+        trigger = BurstTrigger(10, 3)
+        fired = [index for index in range(1, 21) if trigger.should_fire(index, rng)]
+        assert fired == [1, 2, 3, 11, 12, 13]
+        with pytest.raises(InjectionError):
+            BurstTrigger(5, 6)
+
+    def test_describe_strings(self):
+        assert "100" in EveryNCalls(100).describe()
+        assert "probability" in ProbabilisticTrigger(0.5).describe()
+
+
+class TestInjectionTarget:
+    def test_validation(self):
+        with pytest.raises(TargetError):
+            InjectionTarget(handlers=())
+        with pytest.raises(TargetError):
+            InjectionTarget(handlers=("bogus",))
+        with pytest.raises(TargetError):
+            InjectionTarget(handlers=(HANDLER_TRAP,), cpu_filter=frozenset())
+
+    def test_matching_by_handler_and_cpu(self):
+        target = InjectionTarget.nonroot_cpu_trap(cpu_id=1)
+        assert target.matches(HANDLER_TRAP, 1)
+        assert not target.matches(HANDLER_TRAP, 0)
+        assert not target.matches(HANDLER_HVC, 1)
+
+    def test_no_cpu_filter_matches_every_cpu(self):
+        target = InjectionTarget.trap_handler()
+        assert target.matches(HANDLER_TRAP, 0)
+        assert target.matches(HANDLER_TRAP, 5)
+
+    def test_canonical_constructors(self):
+        assert InjectionTarget.hvc_handler().handlers == (HANDLER_HVC,)
+        assert InjectionTarget.irqchip_handler().handlers == (HANDLER_IRQCHIP,)
+        assert set(InjectionTarget.hvc_and_trap(cpus={0}).handlers) == {
+            HANDLER_HVC, HANDLER_TRAP,
+        }
+
+    def test_describe_mentions_handlers_and_cpus(self):
+        text = InjectionTarget.hvc_and_trap(cpus={0}).describe()
+        assert "arch_handle_hvc" in text and "cpu{0}" in text
+        assert "non-root" in InjectionTarget.nonroot_cpu_trap().describe()

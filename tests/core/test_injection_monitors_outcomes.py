@@ -1,0 +1,264 @@
+"""Tests for the injector, the monitors, and the outcome classifier."""
+
+import pytest
+
+from repro.core.faultmodels import SingleBitFlip
+from repro.core.injection import FaultInjector
+from repro.core.monitors import (
+    AvailabilityMonitor,
+    HypervisorMonitor,
+    LogCollector,
+)
+from repro.core.outcomes import (
+    ManagementEvidence,
+    Outcome,
+    OutcomeClassifier,
+    OutcomeEvidence,
+)
+from repro.core.targets import InjectionTarget
+from repro.core.triggers import EveryNCalls, ProbabilisticTrigger
+from repro.errors import InjectionError
+from repro.hw.uart import Uart
+from repro.hw.clock import SimulationClock
+from repro.hypervisor.handlers import HANDLER_HVC, HANDLER_TRAP
+from repro.hypervisor.hypercalls import Hypercall
+
+
+class TestFaultInjector:
+    def make_injector(self, *, every: int = 1, cpus=None) -> FaultInjector:
+        return FaultInjector(
+            target=InjectionTarget.hvc_handler(cpus=cpus),
+            trigger=EveryNCalls(every),
+            fault_model=SingleBitFlip(),
+            seed=3,
+        )
+
+    def test_injector_does_nothing_until_armed(self, booted_sut):
+        injector = self.make_injector()
+        booted_sut.install_injector(injector)
+        booted_sut.hypervisor.issue_hypercall(0, int(Hypercall.HYPERVISOR_GET_INFO))
+        assert injector.injection_count == 0
+        assert injector.total_calls >= 1
+
+    def test_armed_injector_corrupts_matching_calls(self, booted_sut):
+        injector = self.make_injector()
+        booted_sut.install_injector(injector)
+        injector.arm()
+        booted_sut.hypervisor.issue_hypercall(0, int(Hypercall.HYPERVISOR_GET_INFO))
+        assert injector.injection_count == 1
+        record = injector.records[0]
+        assert record.handler == HANDLER_HVC
+        assert record.cpu_id == 0
+        assert len(record.faults) == 1
+        assert "bit" in record.describe()
+
+    def test_cpu_filter_limits_matching_calls(self, booted_sut):
+        injector = self.make_injector(cpus={1})
+        booted_sut.install_injector(injector)
+        injector.arm()
+        booted_sut.hypervisor.issue_hypercall(0, int(Hypercall.HYPERVISOR_GET_INFO))
+        assert injector.matching_calls == 0
+        assert injector.injection_count == 0
+
+    def test_trigger_rate_is_respected(self, booted_sut):
+        injector = self.make_injector(every=5)
+        booted_sut.install_injector(injector)
+        injector.arm()
+        for _ in range(20):
+            booted_sut.hypervisor.issue_hypercall(
+                0, int(Hypercall.HYPERVISOR_GET_INFO)
+            )
+        assert injector.matching_calls == 20
+        assert injector.injection_count == 4
+
+    def test_max_injections_cap(self, booted_sut):
+        injector = FaultInjector(
+            target=InjectionTarget.hvc_handler(),
+            trigger=EveryNCalls(1),
+            fault_model=SingleBitFlip(),
+            max_injections=2,
+        )
+        booted_sut.install_injector(injector)
+        injector.arm()
+        for _ in range(5):
+            booted_sut.hypervisor.issue_hypercall(
+                0, int(Hypercall.HYPERVISOR_GET_INFO)
+            )
+        assert injector.injection_count == 2
+
+    def test_double_install_rejected_and_uninstall_removes_hooks(self, booted_sut):
+        injector = self.make_injector()
+        booted_sut.install_injector(injector)
+        with pytest.raises(InjectionError):
+            injector.install(booted_sut.hypervisor.handlers)
+        injector.arm()
+        injector.uninstall()
+        booted_sut.hypervisor.issue_hypercall(0, int(Hypercall.HYPERVISOR_GET_INFO))
+        assert injector.total_calls == 0
+
+    def test_reset_clears_records_and_counters(self, booted_sut):
+        injector = self.make_injector()
+        booted_sut.install_injector(injector)
+        injector.arm()
+        booted_sut.hypervisor.issue_hypercall(0, int(Hypercall.HYPERVISOR_GET_INFO))
+        injector.reset()
+        assert injector.injection_count == 0
+        assert injector.matching_calls == 0
+
+    def test_invalid_max_injections(self):
+        with pytest.raises(InjectionError):
+            FaultInjector(
+                target=InjectionTarget.hvc_handler(),
+                trigger=EveryNCalls(1),
+                fault_model=SingleBitFlip(),
+                max_injections=0,
+            )
+
+    def test_describe_mentions_model_target_trigger(self):
+        text = self.make_injector(every=100).describe()
+        assert "single-bit-flip" in text
+        assert "arch_handle_hvc" in text
+        assert "100" in text
+
+
+class TestMonitors:
+    def make_uart_with_traffic(self):
+        clock = SimulationClock()
+        uart = Uart(clock=lambda: clock.now)
+        for step in range(10):
+            uart.write_line("FreeRTOS", f"line {step}")
+            clock.advance(1.0)
+        return uart, clock
+
+    def test_availability_report_counts_lines_in_window(self):
+        uart, clock = self.make_uart_with_traffic()
+        monitor = AvailabilityMonitor(uart, "FreeRTOS")
+        report = monitor.report(0.0, 10.0)
+        assert report.lines == 10
+        assert report.available
+        assert report.lines_per_second == pytest.approx(1.0)
+        assert "available" in report.describe()
+
+    def test_silence_is_detected(self):
+        uart, clock = self.make_uart_with_traffic()
+        clock.advance(30.0)
+        monitor = AvailabilityMonitor(uart, "FreeRTOS", silence_threshold=5.0)
+        report = monitor.report(0.0, 40.0)
+        assert not report.available or report.silent_intervals >= 1
+        assert report.longest_silence >= 30.0
+
+    def test_unknown_source_is_silent(self):
+        uart, _ = self.make_uart_with_traffic()
+        report = AvailabilityMonitor(uart, "ghost").report(0.0, 10.0)
+        assert report.lines == 0
+        assert not report.available
+
+    def test_hypervisor_monitor_reports_parks_and_panics(self, booted_sut):
+        monitor = HypervisorMonitor(booted_sut.hypervisor)
+        start = booted_sut.now
+        booted_sut.hypervisor.cpu_park(1, "unhandled trap", error_code=0x24)
+        observation = monitor.observe(start, booted_sut.now + 1.0)
+        assert observation.parked_cpus == ((1, 0x24),)
+        assert not observation.panicked
+        assert "FreeRTOS" in observation.inconsistent_cells
+        booted_sut.hypervisor.panic("boom")
+        observation = monitor.observe(start, booted_sut.now + 1.0)
+        assert observation.panicked and observation.panic_reason == "boom"
+
+    def test_log_collector_captures_the_serial_log(self, booted_sut):
+        collector = LogCollector(booted_sut.board.uart)
+        collector.start(booted_sut.now)
+        booted_sut.run(1.0)
+        log = collector.collect(booted_sut.now)
+        assert "FreeRTOS" in log
+        assert LogCollector(booted_sut.board.uart).collect(1.0) == ""
+
+
+def make_evidence(booted_sut, **overrides) -> OutcomeEvidence:
+    evidence = booted_sut.evidence(0.0, booted_sut.now + 1.0)
+    for key, value in overrides.items():
+        setattr(evidence, key, value)
+    return evidence
+
+
+class TestOutcomeClassifier:
+    def test_healthy_run_is_correct(self, booted_sut):
+        booted_sut.run(5.0)
+        evidence = booted_sut.evidence(0.0, booted_sut.now)
+        outcome = OutcomeClassifier().classify(evidence)
+        assert outcome.outcome is Outcome.CORRECT
+
+    def test_panic_dominates_everything(self, booted_sut):
+        booted_sut.run(2.0)
+        booted_sut.hypervisor.panic("fault propagated")
+        evidence = booted_sut.evidence(0.0, booted_sut.now)
+        evidence.management = ManagementEvidence(create_attempted=True,
+                                                 create_succeeded=False)
+        classified = OutcomeClassifier().classify(evidence)
+        assert classified.outcome is Outcome.PANIC_PARK
+        assert "propagated" in classified.rationale
+
+    def test_rejected_create_is_invalid_arguments(self, booted_sut):
+        booted_sut.run(2.0)
+        evidence = booted_sut.evidence(0.0, booted_sut.now)
+        evidence.management = ManagementEvidence(
+            create_attempted=True, create_succeeded=False, create_code=-22,
+        )
+        classified = OutcomeClassifier().classify(evidence)
+        assert classified.outcome is Outcome.INVALID_ARGUMENTS
+        assert "not allocated" in classified.rationale
+
+    def test_parked_cpu_with_error_code_is_cpu_park(self, booted_sut):
+        booted_sut.run(1.0)
+        start = booted_sut.now
+        booted_sut.hypervisor.cpu_park(1, "unhandled trap", error_code=0x24)
+        booted_sut.run(6.0)
+        evidence = booted_sut.evidence(start, booted_sut.now)
+        classified = OutcomeClassifier().classify(evidence)
+        assert classified.outcome is Outcome.CPU_PARK
+        assert "0x24" in classified.rationale
+
+    def test_running_but_silent_cell_with_online_failure_is_inconsistent(self, booted_sut):
+        # Simulate the high-intensity non-root finding: the cell reports
+        # RUNNING, its CPU never came online, and the UART stays blank.
+        from repro.hypervisor.core import HypervisorEventKind
+        cell = booted_sut.hypervisor.cell_by_name("FreeRTOS")
+        start = booted_sut.now
+        cell.online_cpus.clear()
+        booted_sut.freertos.state = booted_sut.freertos.state.__class__.STOPPED
+        booted_sut.hypervisor._record(HypervisorEventKind.CPU_ONLINE_FAILED,
+                                      cpu_id=1, cell_name="FreeRTOS")
+        booted_sut.run(10.0)
+        evidence = booted_sut.evidence(start, booted_sut.now)
+        classified = OutcomeClassifier().classify(evidence)
+        assert classified.outcome is Outcome.INCONSISTENT_STATE
+
+    def test_silent_target_without_any_error_is_silent_failure(self, booted_sut):
+        start = booted_sut.now
+        booted_sut.freertos.crash("latent corruption")
+        booted_sut.run(10.0)
+        evidence = booted_sut.evidence(start, booted_sut.now)
+        classified = OutcomeClassifier().classify(evidence)
+        assert classified.outcome is Outcome.SILENT_FAILURE
+
+    def test_outcome_properties(self):
+        assert Outcome.PANIC_PARK.is_failure
+        assert Outcome.PANIC_PARK.violates_isolation
+        assert not Outcome.CPU_PARK.violates_isolation
+        assert not Outcome.CORRECT.is_failure
+
+    def test_management_merge_attempt_aggregates(self):
+        aggregate = ManagementEvidence()
+        ok = ManagementEvidence(create_attempted=True, create_succeeded=True,
+                                start_attempted=True, start_succeeded=True)
+        bad = ManagementEvidence(create_attempted=True, create_succeeded=False,
+                                 create_code=-22)
+        aggregate.merge_attempt(ok)
+        aggregate.merge_attempt(bad)
+        aggregate.merge_attempt(ok)
+        assert aggregate.create_attempts == 3
+        assert aggregate.create_rejections == 1
+        assert not aggregate.create_succeeded
+        assert aggregate.create_code == -22
+        assert aggregate.start_attempts == 2
+        assert aggregate.start_rejections == 0

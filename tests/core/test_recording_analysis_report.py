@@ -1,0 +1,214 @@
+"""Tests for record persistence, campaign analytics, and report rendering."""
+
+import pytest
+
+from repro.core.analysis import (
+    availability_breakdown,
+    convergence_curve,
+    group_by,
+    grouped_distributions,
+    management_summary,
+    mean_injections_per_test,
+    outcome_distribution,
+    register_class_totals,
+)
+from repro.core.experiment import ExperimentResult
+from repro.core.outcomes import ManagementEvidence, Outcome
+from repro.core.recording import ExperimentRecord, RecordStore
+from repro.core.report import (
+    format_comparison,
+    format_distribution,
+    format_figure3,
+    format_management_report,
+)
+from repro.errors import AnalysisError
+
+
+def make_record(outcome: Outcome, *, injections: int = 10, seed: int = 0,
+                target: str = "arch_handle_trap@cpu{1}",
+                intensity: str = "medium",
+                create_attempted: bool = False,
+                create_succeeded: bool = True,
+                register_classes=None) -> ExperimentRecord:
+    return ExperimentRecord(
+        spec_name=f"test-{seed}",
+        outcome=outcome.value,
+        rationale="synthetic",
+        injections=injections,
+        duration=60.0,
+        seed=seed,
+        scenario="steady_state",
+        target=target,
+        fault_model="single-bit-flip",
+        intensity=intensity,
+        register_class_counts=register_classes or {"gpr": injections},
+        target_cell_lines=100,
+        root_cell_lines=20,
+        create_attempted=create_attempted,
+        create_succeeded=create_succeeded,
+    )
+
+
+def figure3_like_records():
+    records = []
+    seed = 0
+    for outcome, count in ((Outcome.CORRECT, 13), (Outcome.PANIC_PARK, 6),
+                           (Outcome.CPU_PARK, 1)):
+        for _ in range(count):
+            records.append(make_record(outcome, seed=seed))
+            seed += 1
+    return records
+
+
+class TestRecordRoundTrip:
+    def test_from_result_copies_fields(self):
+        result = ExperimentResult(
+            spec_name="x", outcome=Outcome.CPU_PARK, rationale="r",
+            injections=3, duration=60.0, seed=1, scenario="steady_state",
+            target="t", fault_model="m", intensity="medium",
+            register_class_counts={"sp": 3},
+            management=ManagementEvidence(create_attempted=True,
+                                          create_succeeded=False),
+            target_cell_lines=5, root_cell_lines=6, extras={"k": 1},
+        )
+        record = ExperimentRecord.from_result(result)
+        assert record.outcome_enum is Outcome.CPU_PARK
+        assert record.register_class_counts == {"sp": 3}
+        assert record.create_attempted and not record.create_succeeded
+        assert record.extras == {"k": 1}
+
+    def test_json_round_trip(self):
+        record = make_record(Outcome.PANIC_PARK, injections=7)
+        restored = ExperimentRecord.from_json(record.to_json())
+        assert restored == record
+
+    def test_malformed_json_is_rejected(self):
+        with pytest.raises(AnalysisError):
+            ExperimentRecord.from_json("{not json")
+        with pytest.raises(AnalysisError):
+            ExperimentRecord.from_json('["list"]')
+        with pytest.raises(AnalysisError):
+            ExperimentRecord.from_json('{"unknown_field": 1}')
+        with pytest.raises(AnalysisError):
+            ExperimentRecord.from_json('{"spec_name": "x"}')
+
+    def test_store_write_append_load(self, tmp_path):
+        store = RecordStore(tmp_path / "records.jsonl")
+        records = figure3_like_records()[:5]
+        assert store.write_all(records) == 5
+        store.append(make_record(Outcome.CORRECT, seed=99))
+        loaded = store.load()
+        assert len(loaded) == 6
+        assert loaded[-1].seed == 99
+        assert len(list(store)) == 6
+
+    def test_loading_a_missing_file_returns_empty(self, tmp_path):
+        assert RecordStore(tmp_path / "absent.jsonl").load() == []
+
+
+class TestAnalysis:
+    def test_outcome_distribution_counts_and_cis(self):
+        summary = outcome_distribution(figure3_like_records())
+        assert summary.total == 20
+        assert summary.count(Outcome.CORRECT) == 13
+        assert summary.fraction(Outcome.PANIC_PARK) == pytest.approx(0.3)
+        share = summary.shares[Outcome.PANIC_PARK]
+        assert share.ci_low < 0.3 < share.ci_high
+        assert summary.dominant() is Outcome.CORRECT
+
+    def test_empty_distribution(self):
+        summary = outcome_distribution([])
+        assert summary.total == 0
+        assert summary.fraction(Outcome.CORRECT) == 0.0
+        with pytest.raises(AnalysisError):
+            summary.dominant()
+
+    def test_availability_breakdown_matches_figure3_categories(self):
+        breakdown = availability_breakdown(figure3_like_records())
+        assert breakdown["correct"] == pytest.approx(0.65)
+        assert breakdown["panic_park"] == pytest.approx(0.30)
+        assert breakdown["cpu_park"] == pytest.approx(0.05)
+        assert breakdown["other"] == pytest.approx(0.0)
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+
+    def test_group_by_and_grouped_distributions(self):
+        records = [make_record(Outcome.CORRECT, target="A"),
+                   make_record(Outcome.PANIC_PARK, target="A", seed=1),
+                   make_record(Outcome.CORRECT, target="B", seed=2)]
+        groups = group_by(records, "target")
+        assert set(groups) == {"A", "B"}
+        distributions = grouped_distributions(records, "target")
+        assert distributions["A"].total == 2
+        with pytest.raises(AnalysisError):
+            group_by(records, "nonexistent")
+
+    def test_management_summary(self):
+        records = [
+            make_record(Outcome.INVALID_ARGUMENTS, create_attempted=True,
+                        create_succeeded=False),
+            make_record(Outcome.CORRECT, create_attempted=True,
+                        create_succeeded=True, seed=1),
+            make_record(Outcome.INCONSISTENT_STATE, create_attempted=True,
+                        create_succeeded=True, seed=2),
+            make_record(Outcome.PANIC_PARK, seed=3),
+        ]
+        summary = management_summary(records)
+        assert summary.create_attempts == 3
+        assert summary.create_rejections == 1
+        assert summary.rejected_and_not_allocated == 1
+        assert summary.inconsistent_states == 1
+        assert summary.panics == 1
+        assert summary.rejection_rate == pytest.approx(1 / 3)
+
+    def test_register_class_totals_and_mean_injections(self):
+        records = [make_record(Outcome.CORRECT, injections=4,
+                               register_classes={"gpr": 3, "pc": 1}),
+                   make_record(Outcome.CORRECT, injections=6, seed=1,
+                               register_classes={"gpr": 6})]
+        totals = register_class_totals(records)
+        assert totals == {"gpr": 9, "pc": 1}
+        assert mean_injections_per_test(records) == pytest.approx(5.0)
+        assert mean_injections_per_test([]) == 0.0
+
+    def test_convergence_curve_tracks_running_fraction(self):
+        records = figure3_like_records()
+        curve = convergence_curve(records, Outcome.CORRECT, [5, 10, 20, 50])
+        assert [point[0] for point in curve] == [5, 10, 20, 20]
+        final_n, final_fraction, low, high = curve[-1]
+        assert final_fraction == pytest.approx(0.65)
+        assert low <= final_fraction <= high
+
+
+class TestReports:
+    def test_format_distribution_renders_bars(self):
+        text = format_distribution(outcome_distribution(figure3_like_records()),
+                                   title="outcomes")
+        assert "outcomes" in text
+        assert "panic_park" in text
+        assert "|" in text and "#" in text
+
+    def test_format_figure3_shows_measured_and_paper_reference(self):
+        text = format_figure3(
+            figure3_like_records(),
+            paper_reference={"correct": 0.63, "panic_park": 0.30, "cpu_park": 0.07},
+        )
+        assert "Figure 3" in text
+        assert "paper" in text
+        assert "panic_park" in text
+        assert "30.0%" in text
+
+    def test_format_management_report(self):
+        records = [make_record(Outcome.INVALID_ARGUMENTS, create_attempted=True,
+                               create_succeeded=False)]
+        text = format_management_report(records, title="high intensity root")
+        assert "high intensity root" in text
+        assert "rejected" in text
+
+    def test_format_comparison_table(self):
+        groups = {
+            "jailhouse": outcome_distribution(figure3_like_records()),
+            "bao-like": outcome_distribution([make_record(Outcome.CPU_PARK)]),
+        }
+        text = format_comparison(groups, title="systems")
+        assert "jailhouse" in text and "bao-like" in text
+        assert "correct" in text

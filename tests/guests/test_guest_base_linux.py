@@ -1,0 +1,104 @@
+"""Tests for the guest base behaviour (fault propagation) and the Linux model."""
+
+import pytest
+
+from repro.guests.base import GuestState
+from repro.guests.linux import LinuxGuest
+from repro.hw.registers import Register
+from repro.hypervisor.traps import TrapCode
+
+
+class TestLinuxGuest:
+    def test_boot_banner_and_heartbeat(self, booted_sut):
+        booted_sut.run(5.0)
+        lines = booted_sut.board.uart.lines("BananaPi-Linux")
+        assert any("Linux version" in line for line in lines)
+        assert any("heartbeat" in line for line in lines)
+
+    def test_step_generates_background_traps(self, booted_sut):
+        booted_sut.run(5.0)
+        assert booted_sut.linux.stats.traps_generated > 10
+        assert booted_sut.linux.healthy()
+
+    def test_on_system_panic_emits_kernel_panic(self, booted_sut):
+        booted_sut.hypervisor.panic("injected failure", cpu_id=1)
+        linux = booted_sut.linux
+        assert linux.kernel_panicked
+        assert linux.state is GuestState.PANICKED
+        assert not linux.healthy()
+        lines = booted_sut.board.uart.lines("BananaPi-Linux")
+        assert any("Kernel panic - not syncing" in line for line in lines)
+
+    def test_unbooted_guest_does_not_step(self):
+        guest = LinuxGuest(seed=1)
+        assert guest.step(0, 0.0, 0.02) == []
+
+
+class TestFaultPropagationRules:
+    """The guest-side rules that turn register corruption into failures."""
+
+    def trap_and_resume(self, sut, register, value, *, seed_guest=None):
+        """Take one WFI trap on CPU 1, corrupt one register, resume."""
+        guest = seed_guest or sut.freertos
+        cpu = sut.board.cpu(1)
+        guest.place_registers(1, guest.nominal_registers(1))
+        from repro.hypervisor.traps import encode_hsr
+        context = cpu.enter_trap("wfi", encode_hsr(TrapCode.WFI))
+        context.write(register, value)
+        result = sut.hypervisor.handlers.arch_handle_trap(cpu, context)
+        follow_up = None
+        if result.value == "handled":
+            follow_up = guest.resume_from_trap(1, context)
+        return result, follow_up
+
+    def test_valid_context_resumes_without_follow_up(self, booted_sut):
+        result, follow_up = self.trap_and_resume(booted_sut, Register.R3, 0x42)
+        assert result.value == "handled"
+        assert follow_up is None
+
+    def test_pc_outside_cell_memory_faults_at_next_fetch(self, booted_sut):
+        result, follow_up = self.trap_and_resume(booted_sut, Register.PC, 0xF000_0000)
+        assert result.value == "handled"
+        assert follow_up is not None
+        assert follow_up.trap is TrapCode.PREFETCH_ABORT
+        assert follow_up.fault_address == 0xF000_0000
+
+    def test_sp_corruption_faults_only_if_the_stack_is_used(self, booted_sut):
+        booted_sut.freertos.stack_use_probability = 1.0
+        result, follow_up = self.trap_and_resume(booted_sut, Register.SP, 0xF000_0000)
+        assert follow_up is not None
+        assert follow_up.trap is TrapCode.DATA_ABORT
+
+    def test_sp_corruption_is_masked_when_the_scheduler_reloads_sp(self, booted_sut):
+        booted_sut.freertos.stack_use_probability = 0.0
+        result, follow_up = self.trap_and_resume(booted_sut, Register.SP, 0xF000_0000)
+        assert follow_up is None
+        # The scheduler restored a sane stack pointer on the vCPU.
+        restored = booted_sut.board.cpu(1).registers.read(Register.SP)
+        assert booted_sut.freertos.cell.memory_map.is_mapped(restored, 4)
+
+    def test_lr_corruption_matters_only_on_return(self, booted_sut):
+        booted_sut.freertos.link_return_probability = 1.0
+        _, follow_up = self.trap_and_resume(booted_sut, Register.LR, 0xF000_0000)
+        assert follow_up is not None and follow_up.trap is TrapCode.PREFETCH_ABORT
+        booted_sut.freertos.link_return_probability = 0.0
+        _, follow_up = self.trap_and_resume(booted_sut, Register.LR, 0xF000_0000)
+        assert follow_up is None
+
+    def test_gpr_corruption_is_benign_for_availability(self, booted_sut):
+        for register in (Register.R0, Register.R5, Register.R12):
+            _, follow_up = self.trap_and_resume(booted_sut, register, 0xFFFF_FFFF)
+            assert follow_up is None
+
+    def test_invalid_cpsr_is_caught_by_the_hypervisor_not_the_guest(self, booted_sut):
+        result, follow_up = self.trap_and_resume(booted_sut, Register.CPSR, 0b11010)
+        assert result.value == "panic"
+        assert follow_up is None
+        assert booted_sut.hypervisor.panicked
+
+    def test_crash_marks_guest_dead(self, booted_sut):
+        guest = booted_sut.freertos
+        guest.crash("stack overflow")
+        assert not guest.alive
+        assert guest.crash_reason == "stack overflow"
+        assert guest.step(1, 0.0, 0.02) == []

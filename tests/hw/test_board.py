@@ -1,0 +1,99 @@
+"""Tests for the Banana Pi board model."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hw.board import BananaPiBoard, BoardConfig, DRAM_BASE, UART0_IRQ
+from repro.hw.cpu import CpuState
+from repro.hw.memory import MemoryFlags
+from repro.hw.timer import VIRTUAL_TIMER_PPI
+
+
+def test_default_board_matches_the_paper_testbed():
+    board = BananaPiBoard()
+    assert board.num_cpus == 2                      # dual-core Cortex-A7
+    assert board.dram.size == 1 << 30               # 1 GB of RAM
+    assert board.dram.start == DRAM_BASE
+
+
+def test_invalid_configurations_are_rejected():
+    with pytest.raises(HardwareError):
+        BananaPiBoard(BoardConfig(num_cpus=0))
+    with pytest.raises(HardwareError):
+        BananaPiBoard(BoardConfig(dram_size=-1))
+    with pytest.raises(HardwareError):
+        BananaPiBoard(BoardConfig(timer_period=0))
+
+
+def test_memory_map_has_no_overlaps_and_expected_regions():
+    board = BananaPiBoard()
+    names = {region.name for region in board.memory.regions}
+    assert {"dram", "uart0", "gic", "pio", "boot-sram"} <= names
+    for region in board.memory.regions:
+        others = [other for other in board.memory.regions if other is not region]
+        assert not any(region.overlaps(other) for other in others)
+
+
+def test_uart_region_is_io_and_wired_to_the_uart_device():
+    board = BananaPiBoard()
+    region = board.memory.find_region_by_name("uart0")
+    assert region.flags & MemoryFlags.IO
+    board.uart.set_mmio_source("test")
+    board.memory.write(region.start, ord("a"), size=1)
+    board.memory.write(region.start, ord("\n"), size=1)
+    assert board.uart.lines("test") == ["a"]
+
+
+def test_power_on_brings_cpu0_online_only():
+    board = BananaPiBoard()
+    board.power_on()
+    assert board.online_cpus() == (0,)
+    assert board.cpu(1).state is CpuState.OFFLINE
+
+
+def test_timers_raise_interrupts_after_power_on():
+    board = BananaPiBoard()
+    board.power_on()
+    board.advance(0.05)
+    assert board.gic.has_pending(0)
+    assert board.gic.has_pending(1)
+    assert VIRTUAL_TIMER_PPI in board.gic.pending_for(0)
+
+
+def test_uart_irq_is_enabled_in_the_gic():
+    board = BananaPiBoard()
+    assert board.gic.is_enabled(UART0_IRQ)
+
+
+def test_cpu_accessor_validates_id():
+    board = BananaPiBoard()
+    with pytest.raises(HardwareError):
+        board.cpu(5)
+
+
+def test_parked_cpus_listing():
+    board = BananaPiBoard()
+    board.power_on()
+    board.cpu(0).park("test")
+    assert board.parked_cpus() == (0,)
+    assert board.online_cpus() == ()
+
+
+def test_reset_returns_board_to_cold_state():
+    board = BananaPiBoard()
+    board.power_on()
+    board.advance(0.1)
+    board.uart.write_line("x", "y")
+    board.reset()
+    assert board.online_cpus() == ()
+    assert board.clock.pending_events() == 0
+    assert board.uart.output_count() == 0
+    assert not board.gic.has_pending(0)
+
+
+def test_describe_mentions_cpus_and_memory():
+    board = BananaPiBoard()
+    text = board.describe()
+    assert "Cortex-A7" in text
+    assert "1024 MiB" in text
+    assert "dram" in text

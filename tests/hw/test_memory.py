@@ -1,0 +1,175 @@
+"""Tests for the physical memory map."""
+
+import pytest
+
+from repro.errors import MemoryAccessError, RegionOverlapError
+from repro.hw.memory import (
+    AccessType,
+    MemoryFlags,
+    MemoryRegion,
+    MmioHandler,
+    PhysicalMemory,
+)
+
+
+def make_memory() -> PhysicalMemory:
+    return PhysicalMemory(
+        [
+            MemoryRegion("ram", 0x1000, 0x4000, MemoryFlags.RWX),
+            MemoryRegion("rom", 0x8000, 0x1000, MemoryFlags.READ | MemoryFlags.EXECUTE),
+            MemoryRegion("io", 0x10000, 0x100, MemoryFlags.RW | MemoryFlags.IO),
+        ]
+    )
+
+
+class TestMemoryRegion:
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            MemoryRegion("bad", 0, 0)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            MemoryRegion("bad", -4, 16)
+
+    def test_contains_is_end_exclusive(self):
+        region = MemoryRegion("r", 0x100, 0x10)
+        assert region.contains(0x100)
+        assert region.contains(0x10F)
+        assert not region.contains(0x110)
+        assert not region.contains(0x10C, size=8)
+
+    def test_overlap_detection(self):
+        a = MemoryRegion("a", 0x100, 0x100)
+        b = MemoryRegion("b", 0x180, 0x100)
+        c = MemoryRegion("c", 0x200, 0x100)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_permissions(self):
+        region = MemoryRegion("r", 0, 16, MemoryFlags.READ)
+        assert region.permits(AccessType.READ)
+        assert not region.permits(AccessType.WRITE)
+        assert not region.permits(AccessType.EXECUTE)
+
+    def test_describe_contains_name_and_range(self):
+        text = MemoryRegion("dram", 0x1000, 0x1000, MemoryFlags.RWX).describe()
+        assert "dram" in text
+        assert "0x00001000" in text
+
+
+class TestRegionManagement:
+    def test_overlapping_regions_are_rejected(self):
+        memory = make_memory()
+        with pytest.raises(RegionOverlapError):
+            memory.add_region(MemoryRegion("clash", 0x2000, 0x100))
+
+    def test_find_region_by_address(self):
+        memory = make_memory()
+        assert memory.find_region(0x1000).name == "ram"
+        assert memory.find_region(0x9000) is None
+
+    def test_find_region_by_name(self):
+        memory = make_memory()
+        assert memory.find_region_by_name("rom").start == 0x8000
+        assert memory.find_region_by_name("nope") is None
+
+    def test_remove_region_drops_contents(self):
+        memory = make_memory()
+        memory.write(0x1000, 0xAB, size=1)
+        memory.remove_region("ram")
+        assert memory.find_region_by_name("ram") is None
+        with pytest.raises(MemoryAccessError):
+            memory.read(0x1000, 1)
+
+    def test_remove_unknown_region_raises(self):
+        with pytest.raises(KeyError):
+            make_memory().remove_region("ghost")
+
+    def test_is_mapped_respects_region_boundaries(self):
+        memory = make_memory()
+        assert memory.is_mapped(0x1000, 4)
+        assert not memory.is_mapped(0x4FFE, 4)   # crosses the end of ram
+        assert not memory.is_mapped(0x7000, 4)
+
+    def test_describe_map_lists_all_regions(self):
+        text = make_memory().describe_map()
+        assert "ram" in text and "rom" in text and "io" in text
+
+
+class TestAccess:
+    def test_read_write_round_trip(self):
+        memory = make_memory()
+        memory.write(0x1234, 0xDEADBEEF)
+        assert memory.read(0x1234) == 0xDEADBEEF
+
+    def test_memory_is_zero_initialised(self):
+        assert make_memory().read(0x2000) == 0
+
+    def test_byte_level_round_trip(self):
+        memory = make_memory()
+        memory.write_bytes(0x1100, b"hello")
+        assert memory.read_bytes(0x1100, 5) == b"hello"
+
+    def test_write_spanning_pages(self):
+        memory = make_memory()
+        payload = bytes(range(64))
+        memory.write_bytes(0x1FE0, payload)   # crosses the 0x2000 page boundary
+        assert memory.read_bytes(0x1FE0, 64) == payload
+
+    def test_unmapped_access_raises(self):
+        with pytest.raises(MemoryAccessError):
+            make_memory().read(0x9999)
+
+    def test_write_to_read_only_region_raises(self):
+        with pytest.raises(MemoryAccessError) as excinfo:
+            make_memory().write(0x8000, 1)
+        assert "permission" in str(excinfo.value)
+
+    def test_fetch_requires_execute_permission(self):
+        memory = make_memory()
+        memory.fetch(0x8000)     # rom is executable
+        with pytest.raises(MemoryAccessError):
+            memory.fetch(0x10000)  # io is not
+
+    def test_error_reports_address_and_kind(self):
+        with pytest.raises(MemoryAccessError) as excinfo:
+            make_memory().read(0xDEAD0000)
+        error = excinfo.value
+        assert error.address == 0xDEAD0000
+        assert error.kind == "read"
+
+    def test_sparse_storage_allocates_only_touched_pages(self):
+        memory = make_memory()
+        assert memory.resident_pages() == 0
+        memory.write(0x1000, 1)
+        memory.write(0x3000, 1)
+        assert memory.resident_pages() == 2
+
+
+class RecordingDevice(MmioHandler):
+    def __init__(self) -> None:
+        self.writes = []
+
+    def mmio_read(self, offset: int, size: int) -> int:
+        return 0x5A
+
+    def mmio_write(self, offset: int, value: int, size: int) -> None:
+        self.writes.append((offset, value))
+
+
+class TestMmio:
+    def test_mmio_handler_receives_accesses(self):
+        memory = make_memory()
+        device = RecordingDevice()
+        memory.attach_mmio("io", device)
+        memory.write(0x10010, 0x77)
+        assert device.writes == [(0x10, 0x77)]
+        assert memory.read(0x10000) == 0x5A
+
+    def test_attach_to_non_io_region_is_rejected(self):
+        with pytest.raises(ValueError):
+            make_memory().attach_mmio("ram", RecordingDevice())
+
+    def test_attach_to_unknown_region_is_rejected(self):
+        with pytest.raises(KeyError):
+            make_memory().attach_mmio("ghost", RecordingDevice())

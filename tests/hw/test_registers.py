@@ -1,0 +1,197 @@
+"""Tests for the ARMv7 register model."""
+
+import pytest
+
+from repro.errors import InvalidRegisterError
+from repro.hw.registers import (
+    ARCHITECTURAL_REGISTERS,
+    GUEST_RETURNABLE_MODES,
+    Register,
+    RegisterClass,
+    RegisterFile,
+    TrapContext,
+    VALID_CPSR_MODES,
+    cpsr_mode,
+    cpsr_mode_name,
+    flip_bit,
+    format_context,
+    is_valid_guest_cpsr,
+    make_cpsr,
+    register_class,
+    registers_in_class,
+)
+
+
+class TestFlipBit:
+    def test_flip_sets_a_clear_bit(self):
+        assert flip_bit(0, 3) == 8
+
+    def test_flip_clears_a_set_bit(self):
+        assert flip_bit(8, 3) == 0
+
+    def test_flip_is_involutive(self):
+        value = 0xDEADBEEF
+        assert flip_bit(flip_bit(value, 17), 17) == value
+
+    def test_flip_keeps_value_within_32_bits(self):
+        assert flip_bit(0xFFFF_FFFF, 31) == 0x7FFF_FFFF
+
+    @pytest.mark.parametrize("bit", [-1, 32, 100])
+    def test_flip_rejects_out_of_range_bits(self, bit):
+        with pytest.raises(ValueError):
+            flip_bit(0, bit)
+
+
+class TestRegisterClasses:
+    def test_every_architectural_register_has_a_class(self):
+        for register in ARCHITECTURAL_REGISTERS:
+            assert isinstance(register_class(register), RegisterClass)
+
+    def test_pc_sp_lr_cpsr_have_dedicated_classes(self):
+        assert register_class(Register.PC) is RegisterClass.PROGRAM_COUNTER
+        assert register_class(Register.SP) is RegisterClass.STACK_POINTER
+        assert register_class(Register.LR) is RegisterClass.LINK_REGISTER
+        assert register_class(Register.CPSR) is RegisterClass.STATUS
+
+    def test_r_registers_are_general_purpose(self):
+        assert register_class(Register.R0) is RegisterClass.GENERAL_PURPOSE
+        assert register_class(Register.R12) is RegisterClass.GENERAL_PURPOSE
+
+    def test_registers_in_class_is_consistent_with_register_class(self):
+        for cls in RegisterClass:
+            for register in registers_in_class(cls):
+                assert register_class(register) is cls
+
+    def test_there_are_seventeen_architectural_registers(self):
+        # r0-r12, sp, lr, pc, cpsr: the set the paper's fault model draws from.
+        assert len(ARCHITECTURAL_REGISTERS) == 17
+
+
+class TestCpsr:
+    def test_make_cpsr_encodes_mode(self):
+        assert cpsr_mode(make_cpsr(0b10011)) == 0b10011
+
+    def test_make_cpsr_rejects_invalid_mode(self):
+        with pytest.raises(ValueError):
+            make_cpsr(0b00001)
+
+    def test_mode_name_for_valid_modes(self):
+        assert cpsr_mode_name(make_cpsr(0b10011)) == "SVC"
+        assert cpsr_mode_name(make_cpsr(0b10000)) == "USR"
+
+    def test_mode_name_for_invalid_encoding_is_none(self):
+        assert cpsr_mode_name(0b00101) is None
+
+    def test_guest_may_not_return_to_hyp_or_mon(self):
+        assert not is_valid_guest_cpsr(make_cpsr(0b11010))  # HYP
+        assert not is_valid_guest_cpsr(make_cpsr(0b10110))  # MON
+
+    def test_guest_may_return_to_usr_svc_irq(self):
+        for mode in (0b10000, 0b10011, 0b10010):
+            assert is_valid_guest_cpsr(make_cpsr(mode))
+
+    def test_invalid_mode_encoding_is_not_returnable(self):
+        assert not is_valid_guest_cpsr(0b00011)
+
+    def test_returnable_modes_are_a_subset_of_valid_modes(self):
+        assert GUEST_RETURNABLE_MODES < set(VALID_CPSR_MODES)
+
+
+class TestRegisterFile:
+    def test_boot_state_is_svc_mode(self):
+        regs = RegisterFile()
+        assert cpsr_mode_name(regs.read(Register.CPSR)) == "SVC"
+
+    def test_write_and_read_round_trip(self):
+        regs = RegisterFile()
+        regs.write(Register.R3, 0x1234)
+        assert regs.read(Register.R3) == 0x1234
+
+    def test_write_masks_to_32_bits(self):
+        regs = RegisterFile()
+        regs.write(Register.R0, 0x1_0000_0001)
+        assert regs.read(Register.R0) == 1
+
+    def test_write_rejects_non_integer(self):
+        with pytest.raises(InvalidRegisterError):
+            RegisterFile().write(Register.R0, "oops")  # type: ignore[arg-type]
+
+    def test_flip_changes_exactly_one_bit(self):
+        regs = RegisterFile()
+        regs.write(Register.R5, 0b1010)
+        regs.flip(Register.R5, 0)
+        assert regs.read(Register.R5) == 0b1011
+
+    def test_snapshot_is_a_copy(self):
+        regs = RegisterFile()
+        snapshot = regs.snapshot()
+        regs.write(Register.R1, 99)
+        assert snapshot[Register.R1] == 0
+
+    def test_load_bulk_writes(self):
+        regs = RegisterFile()
+        regs.load({Register.PC: 0x8000, Register.SP: 0x9000})
+        assert regs.read(Register.PC) == 0x8000
+        assert regs.read(Register.SP) == 0x9000
+
+    def test_reset_restores_boot_state(self):
+        regs = RegisterFile()
+        regs.write(Register.PC, 0xCAFE)
+        regs.reset()
+        assert regs.read(Register.PC) == 0
+        assert cpsr_mode_name(regs.read(Register.CPSR)) == "SVC"
+
+    def test_equality_compares_values(self):
+        a, b = RegisterFile(), RegisterFile()
+        assert a == b
+        a.write(Register.R7, 7)
+        assert a != b
+
+
+class TestTrapContext:
+    def test_context_defaults_all_architectural_registers(self):
+        context = TrapContext(cpu_id=0)
+        for register in ARCHITECTURAL_REGISTERS:
+            assert context.read(register) == 0
+
+    def test_hsr_is_readable_through_register_interface(self):
+        context = TrapContext(cpu_id=0, hsr=0x1234)
+        assert context.read(Register.HSR) == 0x1234
+
+    def test_write_hsr_through_register_interface(self):
+        context = TrapContext(cpu_id=0)
+        context.write(Register.HSR, 0x42)
+        assert context.hsr == 0x42
+
+    def test_flip_corrupts_the_context(self):
+        context = TrapContext(cpu_id=1, registers={Register.PC: 0x1000})
+        context.flip(Register.PC, 20)
+        assert context.pc == 0x1000 | (1 << 20)
+
+    def test_copy_is_independent(self):
+        context = TrapContext(cpu_id=0, registers={Register.R0: 5})
+        clone = context.copy()
+        clone.write(Register.R0, 6)
+        assert context.read(Register.R0) == 5
+
+    def test_diff_reports_changed_registers(self):
+        original = TrapContext(cpu_id=0, registers={Register.R1: 1})
+        corrupted = original.copy()
+        corrupted.flip(Register.R1, 4)
+        corrupted.write(Register.HSR, 7)
+        changed = {register for register, _, _ in original.diff(corrupted)}
+        assert changed == {Register.R1, Register.HSR}
+
+    def test_diff_of_identical_contexts_is_empty(self):
+        context = TrapContext(cpu_id=0)
+        assert context.diff(context.copy()) == []
+
+    def test_corruptible_registers_match_the_paper_fault_model(self):
+        context = TrapContext(cpu_id=0)
+        assert context.corruptible_registers() == ARCHITECTURAL_REGISTERS
+
+    def test_format_context_mentions_every_register(self):
+        text = format_context(TrapContext(cpu_id=3))
+        assert "CPU 3" in text
+        assert "pc=0x" in text
+        assert "hsr=0x" in text

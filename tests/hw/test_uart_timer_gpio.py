@@ -1,0 +1,178 @@
+"""Tests for the UART, per-CPU timer, and GPIO/LED models."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.hw.clock import SimulationClock
+from repro.hw.gic import Gic
+from repro.hw.gpio import GpioController, Led
+from repro.hw.timer import GenericTimer, VIRTUAL_TIMER_PPI
+from repro.hw.uart import UART_LSR, UART_LSR_THRE, UART_THR, Uart
+
+
+class TestUart:
+    def test_write_line_records_source_and_text(self):
+        uart = Uart()
+        uart.write_line("FreeRTOS", "hello")
+        assert uart.lines("FreeRTOS") == ["hello"]
+        assert uart.output_count("FreeRTOS") == 1
+        assert uart.output_count() == 1
+
+    def test_lines_filter_by_source(self):
+        uart = Uart()
+        uart.write_line("a", "1")
+        uart.write_line("b", "2")
+        assert uart.lines("a") == ["1"]
+        assert uart.lines() == ["1", "2"]
+        assert uart.sources() == ("a", "b")
+
+    def test_char_interface_flushes_on_newline(self):
+        uart = Uart()
+        for char in "hi\n":
+            uart.write_char("cell", char)
+        assert uart.lines("cell") == ["hi"]
+
+    def test_partial_lines_are_kept_per_source(self):
+        uart = Uart()
+        uart.write_char("a", "x")
+        uart.write_char("b", "y")
+        uart.write_char("a", "\n")
+        assert uart.lines("a") == ["x"]
+        assert uart.lines("b") == []
+
+    def test_records_carry_timestamps_from_the_clock(self):
+        clock = SimulationClock()
+        uart = Uart(clock=lambda: clock.now)
+        uart.write_line("a", "t0")
+        clock.advance(2.0)
+        uart.write_line("a", "t2")
+        times = [record.timestamp for record in uart.records]
+        assert times == [pytest.approx(0.0), pytest.approx(2.0)]
+
+    def test_records_between_is_half_open(self):
+        clock = SimulationClock()
+        uart = Uart(clock=lambda: clock.now)
+        uart.write_line("a", "first")
+        clock.advance(1.0)
+        uart.write_line("a", "second")
+        records = uart.records_between(0.0, 1.0, "a")
+        assert [record.text for record in records] == ["first"]
+
+    def test_silent_since_detects_missing_output(self):
+        clock = SimulationClock()
+        uart = Uart(clock=lambda: clock.now)
+        uart.write_line("cell", "alive")
+        clock.advance(5.0)
+        assert uart.silent_since(1.0, "cell")
+        assert not uart.silent_since(0.0, "cell")
+        assert uart.silent_since(0.0, "other")
+
+    def test_mmio_thr_writes_are_attributed_to_the_mmio_source(self):
+        uart = Uart()
+        uart.set_mmio_source("root")
+        for char in b"ok\n":
+            uart.mmio_write(UART_THR, char, 1)
+        assert uart.lines("root") == ["ok"]
+
+    def test_mmio_lsr_reports_transmitter_empty(self):
+        uart = Uart()
+        assert uart.mmio_read(UART_LSR, 4) & UART_LSR_THRE
+
+    def test_clear_drops_history(self):
+        uart = Uart()
+        uart.write_line("a", "x")
+        uart.clear()
+        assert uart.output_count() == 0
+        assert uart.last_output_time() is None
+
+    def test_dump_renders_log_file_format(self):
+        uart = Uart()
+        uart.write_line("hypervisor", "Initializing")
+        dump = uart.dump()
+        assert "hypervisor: Initializing" in dump
+        assert uart.dump(sources=["other"]) == ""
+
+
+class TestGenericTimer:
+    def test_timer_raises_its_ppi_on_each_period(self):
+        clock = SimulationClock()
+        gic = Gic(2)
+        gic.enable_irq(VIRTUAL_TIMER_PPI)
+        timer = GenericTimer(1, clock, gic)
+        timer.start(0.01)
+        clock.advance(0.05)
+        assert timer.fired == 5
+        assert gic.pending_for(1) == (VIRTUAL_TIMER_PPI,)
+
+    def test_timer_rejects_non_positive_period(self):
+        timer = GenericTimer(0, SimulationClock(), Gic(1))
+        with pytest.raises(DeviceError):
+            timer.start(0.0)
+
+    def test_stop_prevents_further_ticks(self):
+        clock = SimulationClock()
+        gic = Gic(1)
+        gic.enable_irq(VIRTUAL_TIMER_PPI)
+        timer = GenericTimer(0, clock, gic)
+        timer.start(0.01)
+        clock.advance(0.02)
+        timer.stop()
+        clock.advance(1.0)
+        assert timer.fired == 2
+        assert not timer.running
+        assert timer.period is None
+
+    def test_restart_replaces_the_period(self):
+        clock = SimulationClock()
+        timer = GenericTimer(0, clock, Gic(1))
+        timer.start(0.01)
+        timer.start(0.5)
+        clock.advance(1.0)
+        assert timer.fired == 2
+
+
+class TestGpioAndLed:
+    def test_controller_needs_pins(self):
+        with pytest.raises(DeviceError):
+            GpioController(0)
+
+    def test_set_level_records_changes_only(self):
+        gpio = GpioController(8)
+        gpio.set_level(3, True)
+        gpio.set_level(3, True)
+        gpio.set_level(3, False)
+        assert gpio.toggle_count(3) == 2
+
+    def test_out_of_range_pin_is_rejected(self):
+        gpio = GpioController(4)
+        with pytest.raises(DeviceError):
+            gpio.set_level(9, True)
+
+    def test_toggle_inverts_level(self):
+        gpio = GpioController(4)
+        assert gpio.toggle(1) is True
+        assert gpio.toggle(1) is False
+        assert gpio.get_level(1) is False
+
+    def test_last_change_uses_clock(self):
+        clock = SimulationClock()
+        gpio = GpioController(4, clock=lambda: clock.now)
+        clock.advance(1.5)
+        gpio.toggle(2)
+        assert gpio.last_change(2) == pytest.approx(1.5)
+        assert gpio.last_change(3) is None
+
+    def test_led_blink_counter(self):
+        gpio = GpioController(32)
+        led = Led(gpio, pin=24)
+        led.on()
+        led.off()
+        led.toggle()
+        assert led.blink_count == 3
+        assert led.lit is True
+
+    def test_clear_history_resets_counters(self):
+        gpio = GpioController(4)
+        gpio.toggle(0)
+        gpio.clear_history()
+        assert gpio.toggle_count(0) == 0

@@ -1,0 +1,91 @@
+"""Tests for the jailhouse-style management CLI."""
+
+import pytest
+
+from repro.hw.board import BananaPiBoard
+from repro.hypervisor.cell import CellState, LoadedImage
+from repro.hypervisor.config import bananapi_system_config, freertos_cell_config
+from repro.hypervisor.core import Hypervisor
+from repro.hypervisor.cli import JailhouseCli
+
+
+@pytest.fixture
+def cli() -> JailhouseCli:
+    board = BananaPiBoard()
+    board.power_on()
+    hv = Hypervisor(board)
+    cli = JailhouseCli(hv)
+    assert cli.enable(bananapi_system_config()).success
+    return cli
+
+
+def test_enable_reports_root_cell_name(cli: JailhouseCli):
+    assert "BananaPi-Linux" in cli.history[0].output
+
+
+def test_enable_twice_reports_error(cli: JailhouseCli):
+    result = cli.enable(bananapi_system_config())
+    assert not result.success
+    assert "Error" in result.output
+
+
+def test_full_lifecycle_through_the_cli(cli: JailhouseCli):
+    config = freertos_cell_config()
+    create = cli.cell_create(config)
+    assert create.success and 'Created cell "FreeRTOS"' in create.output
+
+    load = cli.cell_load("FreeRTOS", LoadedImage("ram", 0x0, 64 << 10))
+    assert load.success
+
+    start = cli.cell_start("FreeRTOS")
+    assert start.success and 'Started cell "FreeRTOS"' in start.output
+    cell = cli._hv.cell_by_name("FreeRTOS")
+    assert cell.state is CellState.RUNNING
+
+    listing = cli.cell_list()
+    assert "FreeRTOS" in listing.output and "running" in listing.output
+
+    shutdown = cli.cell_shutdown("FreeRTOS")
+    assert shutdown.success
+    assert cell.state is CellState.SHUT_DOWN
+
+    destroy = cli.cell_destroy("FreeRTOS")
+    assert destroy.success and 'Closed cell "FreeRTOS"' in destroy.output
+    assert cli._hv.cell_by_name("FreeRTOS") is None
+
+
+def test_operations_on_unknown_cells_fail_cleanly(cli: JailhouseCli):
+    assert not cli.cell_start("ghost").success
+    assert not cli.cell_shutdown("ghost").success
+    assert not cli.cell_destroy("ghost").success
+    assert not cli.cell_load("ghost", LoadedImage("ram", 0, 16)).success
+
+
+def test_load_into_bad_region_reports_error(cli: JailhouseCli):
+    cli.cell_create(freertos_cell_config())
+    result = cli.cell_load("FreeRTOS", LoadedImage("ghost-region", 0, 16))
+    assert not result.success
+    assert "Error" in result.output
+
+
+def test_disable_refused_while_cells_exist_then_succeeds(cli: JailhouseCli):
+    cli.cell_create(freertos_cell_config())
+    assert not cli.disable().success
+    cli.cell_destroy("FreeRTOS")
+    assert cli.disable().success
+
+
+def test_cell_ids_are_usable_in_place_of_names(cli: JailhouseCli):
+    create = cli.cell_create(freertos_cell_config())
+    cell_id = create.code
+    assert cli.cell_load(cell_id, LoadedImage("ram", 0x0, 16)).success
+    assert cli.cell_start(cell_id).success
+
+
+def test_history_records_every_command(cli: JailhouseCli):
+    cli.cell_create(freertos_cell_config())
+    cli.cell_list()
+    commands = [entry.command for entry in cli.history]
+    assert "enable" in commands
+    assert "cell create FreeRTOS" in commands
+    assert "cell list" in commands

@@ -1,0 +1,164 @@
+"""Tests for cell and system configurations."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.memory import MemoryFlags
+from repro.hypervisor.config import (
+    CellConfig,
+    ConsoleConfig,
+    MemoryAssignment,
+    SystemConfig,
+    bananapi_root_config,
+    bananapi_system_config,
+    freertos_cell_config,
+)
+
+
+def simple_cell(name: str = "inmate") -> CellConfig:
+    return CellConfig(
+        name=name,
+        cpus={1},
+        memory=[MemoryAssignment("ram", 0x0, 0x7800_0000, 1 << 20, MemoryFlags.RWX)],
+        irqs={155},
+    )
+
+
+class TestMemoryAssignment:
+    def test_rejects_bad_sizes_and_addresses(self):
+        with pytest.raises(ConfigurationError):
+            MemoryAssignment("x", 0, 0, 0)
+        with pytest.raises(ConfigurationError):
+            MemoryAssignment("x", -1, 0, 16)
+
+    def test_overlap_checks(self):
+        a = MemoryAssignment("a", 0x0, 0x1000, 0x100)
+        b = MemoryAssignment("b", 0x80, 0x2000, 0x100)
+        c = MemoryAssignment("c", 0x200, 0x1080, 0x100)
+        assert a.overlaps_virt(b)
+        assert not a.overlaps_virt(c)
+        assert a.overlaps_phys(c)
+        assert not a.overlaps_phys(b)
+
+
+class TestCellConfigValidation:
+    def test_valid_config_passes(self):
+        simple_cell().validate()
+
+    def test_name_must_be_short_and_non_empty(self):
+        with pytest.raises(ConfigurationError):
+            CellConfig(name="", cpus={0},
+                       memory=[MemoryAssignment("r", 0, 0, 16)]).validate()
+        with pytest.raises(ConfigurationError):
+            CellConfig(name="x" * 40, cpus={0},
+                       memory=[MemoryAssignment("r", 0, 0, 16)]).validate()
+
+    def test_cell_needs_cpus_and_memory(self):
+        with pytest.raises(ConfigurationError):
+            CellConfig(name="c", cpus=set(),
+                       memory=[MemoryAssignment("r", 0, 0, 16)]).validate()
+        with pytest.raises(ConfigurationError):
+            CellConfig(name="c", cpus={0}, memory=[]).validate()
+
+    def test_negative_cpu_or_irq_ids_are_rejected(self):
+        config = simple_cell()
+        config.cpus = {-1}
+        with pytest.raises(ConfigurationError):
+            config.validate()
+        config = simple_cell()
+        config.irqs = {-3}
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_overlapping_guest_regions_are_rejected(self):
+        config = simple_cell()
+        config.memory.append(
+            MemoryAssignment("clash", 0x0, 0x9000_0000, 0x1000)
+        )
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_ram_helpers(self):
+        config = freertos_cell_config()
+        ram_names = {assignment.name for assignment in config.ram_assignments()}
+        assert "ram" in ram_names
+        assert "uart0" not in ram_names
+        assert config.total_ram() >= 1 << 20
+        assert config.find_assignment("ram") is not None
+        assert config.find_assignment("nope") is None
+
+
+class TestSerialization:
+    def test_round_trip_preserves_structure(self):
+        original = freertos_cell_config()
+        restored = CellConfig.from_bytes(original.to_bytes())
+        assert restored.name == original.name
+        assert restored.cpus == original.cpus
+        assert restored.irqs == original.irqs
+        assert len(restored.memory) == len(original.memory)
+        for before, after in zip(original.memory, restored.memory):
+            assert after.name == before.name
+            assert after.virt_start == before.virt_start
+            assert after.phys_start == before.phys_start
+            assert after.size == before.size
+            assert after.flags == before.flags
+            assert after.shared == before.shared
+            assert after.loadable == before.loadable
+
+    def test_bad_magic_is_rejected(self):
+        blob = bytearray(freertos_cell_config().to_bytes())
+        blob[0:6] = b"BOGUS!"
+        with pytest.raises(ConfigurationError):
+            CellConfig.from_bytes(bytes(blob))
+
+    def test_truncated_blob_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CellConfig.from_bytes(b"\x00" * 8)
+
+    def test_wrong_revision_is_rejected(self):
+        blob = bytearray(freertos_cell_config().to_bytes())
+        blob[6] = 0xFF
+        with pytest.raises(ConfigurationError):
+            CellConfig.from_bytes(bytes(blob))
+
+
+class TestCanonicalConfigs:
+    def test_root_cell_owns_both_cpus_and_is_root(self):
+        root = bananapi_root_config()
+        assert root.is_root
+        assert root.cpus == {0, 1}
+
+    def test_freertos_cell_matches_the_paper_assignment(self):
+        # "We statically assigned the board CPU core 0 to the root cell and
+        #  the CPU core 1 to the non-root cell (FreeRTOS cell)."
+        inmate = freertos_cell_config()
+        assert inmate.cpus == {1}
+        assert not inmate.is_root
+        assert inmate.console.enabled
+
+    def test_cells_share_only_explicitly_shared_regions(self):
+        root = bananapi_root_config()
+        inmate = freertos_cell_config()
+        for root_region in root.memory:
+            for inmate_region in inmate.memory:
+                if root_region.overlaps_phys(inmate_region):
+                    assert root_region.shared and inmate_region.shared
+
+    def test_system_config_validates(self):
+        system = bananapi_system_config()
+        system.validate()
+        assert system.root_cell.is_root
+
+    def test_system_config_requires_a_root_cell(self):
+        system = SystemConfig(root_cell=simple_cell())
+        with pytest.raises(ConfigurationError):
+            system.validate()
+
+    def test_root_cell_must_not_overlap_hypervisor_memory(self):
+        root = bananapi_root_config()
+        root.memory.append(
+            MemoryAssignment("bad", 0x7C00_0000, 0x7C00_0000, 0x1000)
+        )
+        system = SystemConfig(root_cell=root)
+        with pytest.raises(ConfigurationError):
+            system.validate()

@@ -1,0 +1,258 @@
+"""Tests for the hypervisor core: lifecycle, hypercall dispatch, failure reactions."""
+
+import pytest
+
+from repro.errors import HypervisorError
+from repro.hw.board import BananaPiBoard
+from repro.hw.cpu import CpuState
+from repro.hypervisor.cell import CellState, LoadedImage
+from repro.hypervisor.config import bananapi_system_config, freertos_cell_config
+from repro.hypervisor.core import (
+    Hypervisor,
+    HypervisorEventKind,
+    HypervisorState,
+)
+from repro.hypervisor.hypercalls import Hypercall, HypercallRequest, ReturnCode
+
+
+def enabled_hypervisor() -> Hypervisor:
+    board = BananaPiBoard()
+    board.power_on()
+    hv = Hypervisor(board)
+    hv.enable(bananapi_system_config())
+    return hv
+
+
+def create_and_start_inmate(hv: Hypervisor):
+    """Create, load and start the FreeRTOS cell through real hypercalls."""
+    config = freertos_cell_config()
+    address = hv.stage_config(config)
+    create = hv.issue_hypercall(0, int(Hypercall.CELL_CREATE), address)
+    assert create.ok
+    cell = hv.cell_by_id(create.code)
+    cell.load_image(LoadedImage("ram", entry_point=0x0, size=4096))
+    start = hv.issue_hypercall(0, int(Hypercall.CELL_START), create.code)
+    assert start.ok
+    return cell
+
+
+class TestEnableDisable:
+    def test_enable_creates_a_running_root_cell(self):
+        hv = enabled_hypervisor()
+        assert hv.state is HypervisorState.ENABLED
+        assert hv.root_cell is not None
+        assert hv.root_cell.state is CellState.RUNNING
+        assert hv.root_cell.cpus == {0, 1}
+        assert hv.root_cell.online_cpus == {0, 1}
+
+    def test_enable_twice_is_rejected(self):
+        hv = enabled_hypervisor()
+        with pytest.raises(HypervisorError):
+            hv.enable(bananapi_system_config())
+
+    def test_enable_prints_activation_banner(self):
+        hv = enabled_hypervisor()
+        lines = hv.board.uart.lines("hypervisor")
+        assert any("Initializing Jailhouse" in line for line in lines)
+
+    def test_disable_refused_while_non_root_cells_exist(self):
+        hv = enabled_hypervisor()
+        create_and_start_inmate(hv)
+        with pytest.raises(HypervisorError):
+            hv.disable()
+
+    def test_disable_hypercall_once_cells_are_gone(self):
+        hv = enabled_hypervisor()
+        cell = create_and_start_inmate(hv)
+        assert hv.issue_hypercall(0, int(Hypercall.CELL_DESTROY), cell.cell_id).ok
+        assert hv.issue_hypercall(0, int(Hypercall.DISABLE)).ok
+        assert hv.state is HypervisorState.DISABLED
+
+    def test_hypercalls_after_disable_fail_with_eio(self):
+        hv = enabled_hypervisor()
+        assert hv.issue_hypercall(0, int(Hypercall.DISABLE)).ok
+        outcome = hv.issue_hypercall(0, int(Hypercall.HYPERVISOR_GET_INFO))
+        assert outcome.code == int(ReturnCode.EIO)
+
+
+class TestCellCreate:
+    def test_create_moves_cpu_from_root_to_new_cell(self):
+        hv = enabled_hypervisor()
+        cell = create_and_start_inmate(hv)
+        assert hv.root_cell.cpus == {0}
+        assert cell.cpus == {1}
+        assert hv.cell_of_cpu(1) is cell
+
+    def test_create_with_bad_config_address_is_invalid_argument(self):
+        hv = enabled_hypervisor()
+        outcome = hv.issue_hypercall(0, int(Hypercall.CELL_CREATE), 0xDEAD_BEEF)
+        assert outcome.code == int(ReturnCode.EINVAL)
+        assert hv.cell_by_name("FreeRTOS") is None
+
+    def test_create_duplicate_name_is_rejected(self):
+        hv = enabled_hypervisor()
+        create_and_start_inmate(hv)
+        address = hv.stage_config(freertos_cell_config())
+        outcome = hv.issue_hypercall(0, int(Hypercall.CELL_CREATE), address)
+        assert outcome.code == int(ReturnCode.EEXIST)
+
+    def test_create_requesting_unavailable_cpu_is_rejected(self):
+        hv = enabled_hypervisor()
+        create_and_start_inmate(hv)                       # takes CPU 1 away
+        config = freertos_cell_config("Second")
+        address = hv.stage_config(config)
+        outcome = hv.issue_hypercall(0, int(Hypercall.CELL_CREATE), address)
+        assert outcome.code == int(ReturnCode.EINVAL)
+
+    def test_create_from_non_root_cell_is_eperm(self):
+        hv = enabled_hypervisor()
+        create_and_start_inmate(hv)
+        address = hv.stage_config(freertos_cell_config("Another"))
+        outcome = hv.issue_hypercall(1, int(Hypercall.CELL_CREATE), address)
+        assert outcome.code == int(ReturnCode.EPERM)
+
+    def test_failed_hypercalls_are_recorded_as_events(self):
+        hv = enabled_hypervisor()
+        hv.issue_hypercall(0, int(Hypercall.CELL_CREATE), 0x1)
+        assert hv.events_of_kind(HypervisorEventKind.HYPERCALL_FAILED)
+
+
+class TestCellStartAndLifecycle:
+    def test_start_brings_the_target_cpu_online(self):
+        hv = enabled_hypervisor()
+        cell = create_and_start_inmate(hv)
+        assert cell.state is CellState.RUNNING
+        assert cell.online_cpus == {1}
+        assert hv.board.cpu(1).is_executing
+        assert cell.is_consistent()
+
+    def test_start_unknown_cell_is_enoent(self):
+        hv = enabled_hypervisor()
+        outcome = hv.issue_hypercall(0, int(Hypercall.CELL_START), 99)
+        assert outcome.code == int(ReturnCode.ENOENT)
+
+    def test_start_root_cell_is_rejected(self):
+        hv = enabled_hypervisor()
+        outcome = hv.issue_hypercall(0, int(Hypercall.CELL_START), 0)
+        assert outcome.code == int(ReturnCode.EINVAL)
+
+    def test_start_twice_is_busy(self):
+        hv = enabled_hypervisor()
+        cell = create_and_start_inmate(hv)
+        outcome = hv.issue_hypercall(0, int(Hypercall.CELL_START), cell.cell_id)
+        assert outcome.code == int(ReturnCode.EBUSY)
+
+    def test_shutdown_returns_cell_to_shut_down_state(self):
+        hv = enabled_hypervisor()
+        cell = create_and_start_inmate(hv)
+        outcome = hv.issue_hypercall(0, int(Hypercall.CELL_SET_LOADABLE), cell.cell_id)
+        assert outcome.ok
+        assert cell.state is CellState.SHUT_DOWN
+        assert not cell.online_cpus
+
+    def test_destroy_returns_cpu_and_irqs_to_root(self):
+        hv = enabled_hypervisor()
+        cell = create_and_start_inmate(hv)
+        irqs_before = set(cell.config.irqs)
+        outcome = hv.issue_hypercall(0, int(Hypercall.CELL_DESTROY), cell.cell_id)
+        assert outcome.ok
+        assert hv.cell_by_name("FreeRTOS") is None
+        assert hv.root_cell.cpus == {0, 1}
+        assert irqs_before <= hv.root_cell.irqs
+        assert hv.board.cpu(1).is_executing
+
+    def test_destroy_root_cell_is_rejected(self):
+        hv = enabled_hypervisor()
+        outcome = hv.issue_hypercall(0, int(Hypercall.CELL_DESTROY), 0)
+        assert outcome.code == int(ReturnCode.EINVAL)
+
+    def test_state_and_cpu_info_hypercalls(self):
+        hv = enabled_hypervisor()
+        cell = create_and_start_inmate(hv)
+        state = hv.issue_hypercall(0, int(Hypercall.CELL_GET_STATE), cell.cell_id)
+        assert state.code == 0          # running
+        info = hv.issue_hypercall(0, int(Hypercall.CPU_GET_INFO), 1)
+        assert info.code == 0           # online
+        bad = hv.issue_hypercall(0, int(Hypercall.CPU_GET_INFO), 9)
+        assert bad.code == int(ReturnCode.EINVAL)
+
+    def test_console_putc_hypercall_writes_to_uart(self):
+        hv = enabled_hypervisor()
+        for char in "hi\n":
+            hv.issue_hypercall(0, int(Hypercall.DEBUG_CONSOLE_PUTC), ord(char))
+        assert "hi" in hv.board.uart.lines(hv.root_cell.name)
+
+    def test_unknown_hypercall_is_enosys(self):
+        hv = enabled_hypervisor()
+        outcome = hv.issue_hypercall(0, 0x55)
+        assert outcome.code == int(ReturnCode.ENOSYS)
+
+    def test_cell_list_renders_table(self):
+        hv = enabled_hypervisor()
+        create_and_start_inmate(hv)
+        table = hv.cell_list()
+        assert "FreeRTOS" in table and "running" in table
+
+
+class TestFailureReactions:
+    def test_cpu_park_keeps_cell_state_running(self):
+        # The paper: after a 0x24 park the cell is still considered running by
+        # Jailhouse, although its CPU is gone.
+        hv = enabled_hypervisor()
+        cell = create_and_start_inmate(hv)
+        hv.cpu_park(1, "unhandled trap exception", error_code=0x24)
+        assert hv.board.cpu(1).is_parked
+        assert cell.state is CellState.RUNNING
+        assert not cell.is_consistent()
+        assert hv.events_of_kind(HypervisorEventKind.CPU_PARKED)
+
+    def test_destroy_after_park_still_returns_resources(self):
+        hv = enabled_hypervisor()
+        cell = create_and_start_inmate(hv)
+        hv.cpu_park(1, "unhandled trap exception", error_code=0x24)
+        outcome = hv.issue_hypercall(0, int(Hypercall.CELL_DESTROY), cell.cell_id)
+        assert outcome.ok
+        assert hv.root_cell.cpus == {0, 1}
+        assert hv.board.cpu(1).is_executing
+
+    def test_panic_parks_every_online_cpu(self):
+        hv = enabled_hypervisor()
+        create_and_start_inmate(hv)
+        hv.panic("test panic", cpu_id=1)
+        assert hv.panicked
+        assert hv.panic_reason == "test panic"
+        assert all(not cpu.is_executing for cpu in hv.board.cpus)
+        lines = hv.board.uart.lines("hypervisor")
+        assert any("JAILHOUSE PANIC" in line for line in lines)
+
+    def test_panic_is_idempotent(self):
+        hv = enabled_hypervisor()
+        hv.panic("first")
+        hv.panic("second")
+        assert hv.panic_reason == "first"
+        assert len(hv.events_of_kind(HypervisorEventKind.PANIC)) == 1
+
+    def test_fail_cell_contains_failure_to_one_cell(self):
+        hv = enabled_hypervisor()
+        cell = create_and_start_inmate(hv)
+        hv.fail_cell(cell, "guest fault", error_code=0x20)
+        assert cell.state is CellState.FAILED
+        assert hv.board.cpu(1).is_parked
+        assert hv.board.cpu(0).is_executing
+        assert not hv.panicked
+        assert hv.events_of_kind(HypervisorEventKind.CELL_FAILED)
+
+    def test_issue_hypercall_from_parked_cpu_fails_gracefully(self):
+        hv = enabled_hypervisor()
+        hv.panic("dead")
+        outcome = hv.issue_hypercall(0, int(Hypercall.HYPERVISOR_GET_INFO))
+        assert not outcome.ok
+        assert outcome.code == int(ReturnCode.EIO)
+
+    def test_ivshmem_channel_requires_existing_cells(self):
+        hv = enabled_hypervisor()
+        with pytest.raises(HypervisorError):
+            hv.create_ivshmem_channel("BananaPi-Linux", "ghost")
+        create_and_start_inmate(hv)
+        channel = hv.create_ivshmem_channel("BananaPi-Linux", "FreeRTOS")
+        assert channel in hv.ivshmem_channels

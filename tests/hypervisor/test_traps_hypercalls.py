@@ -1,0 +1,102 @@
+"""Tests for trap encoding and the hypercall ABI."""
+
+import pytest
+
+from repro.hypervisor.hypercalls import (
+    Hypercall,
+    HypercallRequest,
+    HypercallResult,
+    RETURN_MESSAGES,
+    ReturnCode,
+    is_privileged,
+)
+from repro.hypervisor.traps import (
+    ExceptionClass,
+    HANDLED_CLASSES,
+    TrapCode,
+    UNHANDLED_TRAP_ERROR,
+    decode_exception_class,
+    describe_trap,
+    encode_hsr,
+    exception_class,
+    is_handled,
+    iss,
+)
+
+
+class TestTrapEncoding:
+    def test_unhandled_trap_error_is_0x24_as_in_the_paper(self):
+        assert UNHANDLED_TRAP_ERROR == 0x24
+        assert ExceptionClass.DATA_ABORT_LOWER == 0x24
+
+    @pytest.mark.parametrize("trap,expected", [
+        (TrapCode.HYPERCALL, ExceptionClass.HVC32),
+        (TrapCode.WFI, ExceptionClass.WFI_WFE),
+        (TrapCode.CP15_ACCESS, ExceptionClass.CP15_TRAP),
+        (TrapCode.SMC, ExceptionClass.SMC32),
+        (TrapCode.DATA_ABORT, ExceptionClass.DATA_ABORT_LOWER),
+        (TrapCode.PREFETCH_ABORT, ExceptionClass.PREFETCH_ABORT_LOWER),
+    ])
+    def test_encode_decode_round_trip(self, trap, expected):
+        hsr = encode_hsr(trap)
+        assert decode_exception_class(hsr) is expected
+
+    def test_iss_is_preserved(self):
+        hsr = encode_hsr(TrapCode.DATA_ABORT, iss=0x123)
+        assert iss(hsr) == 0x123
+        assert exception_class(hsr) == 0x24
+
+    def test_iss_is_masked_to_25_bits(self):
+        hsr = encode_hsr(TrapCode.WFI, iss=0xFFFF_FFFF)
+        assert iss(hsr) == (1 << 25) - 1
+
+    def test_unknown_encoding_decodes_to_none(self):
+        hsr = 0x3F << 26
+        assert decode_exception_class(hsr) is None
+        assert not is_handled(hsr)
+
+    def test_handled_classes_include_hvc_and_aborts(self):
+        assert ExceptionClass.HVC32 in HANDLED_CLASSES
+        assert ExceptionClass.DATA_ABORT_LOWER in HANDLED_CLASSES
+        assert is_handled(encode_hsr(TrapCode.HYPERCALL))
+
+    def test_describe_trap_mentions_class_name(self):
+        text = describe_trap(encode_hsr(TrapCode.DATA_ABORT))
+        assert "0x24" in text
+        assert "DATA_ABORT_LOWER" in text
+        assert "INVALID" in describe_trap(0x3F << 26)
+
+
+class TestHypercallAbi:
+    def test_hypercall_numbers_follow_jailhouse(self):
+        assert Hypercall.DISABLE == 0
+        assert Hypercall.CELL_CREATE == 1
+        assert Hypercall.CELL_START == 2
+        assert Hypercall.CELL_DESTROY == 4
+
+    def test_privileged_calls_are_the_cell_management_ones(self):
+        assert is_privileged(Hypercall.CELL_CREATE)
+        assert is_privileged(Hypercall.CELL_DESTROY)
+        assert not is_privileged(Hypercall.HYPERVISOR_GET_INFO)
+        assert not is_privileged(Hypercall.DEBUG_CONSOLE_PUTC)
+
+    def test_request_knows_whether_its_code_is_defined(self):
+        assert HypercallRequest(code=1).known()
+        assert not HypercallRequest(code=77).known()
+        assert HypercallRequest(code=77).hypercall is None
+
+    def test_result_ok_and_message(self):
+        request = HypercallRequest(code=1, arg1=0x1000)
+        ok = HypercallResult(request, 3)
+        assert ok.ok
+        error = HypercallResult(request, int(ReturnCode.EINVAL), "bad config")
+        assert not error.ok
+        assert error.message == "Invalid argument: bad config"
+
+    def test_invalid_argument_message_matches_the_paper_wording(self):
+        # The paper reports the management tool printing "invalid arguments".
+        assert RETURN_MESSAGES[ReturnCode.EINVAL] == "Invalid argument"
+
+    def test_describe_unknown_code(self):
+        assert ReturnCode.describe(-99) == "unknown(-99)"
+        assert ReturnCode.describe(-22) == "EINVAL"

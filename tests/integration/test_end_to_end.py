@@ -1,0 +1,142 @@
+"""Integration tests: the full stack, end to end.
+
+These tests exercise the complete pipeline the paper describes — golden run,
+fault-injection experiments, outcome classification, campaign analytics, and
+SEooC evidence — against the real system-under-test (no synthetic records).
+They use shorter durations and smaller campaigns than the benchmarks so the
+suite stays fast, but the same code paths.
+"""
+
+import pytest
+
+from repro.core.analysis import availability_breakdown, outcome_distribution
+from repro.core.campaign import Campaign
+from repro.core.experiment import Experiment, ExperimentSpec, Scenario, park_provoking_spec
+from repro.core.faultmodels import MultiRegisterBitFlip, SingleBitFlip
+from repro.core.outcomes import Outcome
+from repro.core.plan import (
+    IntensityLevel,
+    build_intensity_plan,
+    paper_high_intensity_nonroot_plan,
+)
+from repro.core.recording import RecordStore
+from repro.core.report import format_figure3
+from repro.core.targets import InjectionTarget
+from repro.core.triggers import EveryNCalls
+from repro.safety.evidence import build_evidence_report
+from repro.safety.metrics import compute_isolation_metrics
+
+
+class TestGoldenRun:
+    def test_fault_free_system_behaves_correctly_for_a_long_run(self):
+        plan = build_intensity_plan(
+            IntensityLevel.MEDIUM, InjectionTarget.nonroot_cpu_trap(),
+            num_tests=1, duration=1.0,
+        )
+        golden = Campaign(plan).golden_run(duration=20.0)
+        assert golden.healthy
+        assert golden.outcome is Outcome.CORRECT
+        # The profiling result that motivated the paper's choice of injection
+        # points: all three handlers are exercised by the workload.
+        assert golden.handler_calls["arch_handle_trap"] > 100
+        assert golden.handler_calls["irqchip_handle_irq"] > 100
+        assert golden.handler_calls["arch_handle_hvc"] > 0
+        assert golden.target_cell_lines > 20
+
+
+class TestMediumIntensityCampaign:
+    @pytest.fixture(scope="class")
+    def campaign_result(self):
+        plan = build_intensity_plan(
+            IntensityLevel.MEDIUM, InjectionTarget.nonroot_cpu_trap(),
+            num_tests=12, duration=30.0, base_seed=7000,
+            name="integration-fig3",
+        )
+        return Campaign(plan).run()
+
+    def test_outcomes_are_dominated_by_correct_and_panic_park(self, campaign_result):
+        counts = campaign_result.outcome_counts()
+        assert sum(counts.values()) == 12
+        # The Figure-3 shape: correct dominates, the main failure mode is the
+        # whole-system panic park, everything else is rare.
+        assert counts[Outcome.CORRECT] >= counts[Outcome.PANIC_PARK]
+        assert counts[Outcome.CORRECT] >= 4
+        assert counts[Outcome.INVALID_ARGUMENTS] == 0
+        assert counts[Outcome.INCONSISTENT_STATE] == 0
+
+    def test_every_test_injected_faults(self, campaign_result):
+        assert all(result.injections > 0 for result in campaign_result.results)
+
+    def test_records_feed_analysis_and_reporting(self, campaign_result, tmp_path):
+        records = campaign_result.to_records()
+        distribution = outcome_distribution(records)
+        assert distribution.total == 12
+        breakdown = availability_breakdown(records)
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+        text = format_figure3(records)
+        assert "Figure 3" in text
+        store = RecordStore(tmp_path / "fig3.jsonl")
+        store.write_all(records)
+        assert len(store.load()) == 12
+
+    def test_seooc_evidence_report_builds_from_real_campaign(self, campaign_result):
+        records = campaign_result.to_records()
+        report = build_evidence_report({"integration-fig3": records})
+        text = report.render()
+        assert "Assumptions of use" in text
+        metrics = compute_isolation_metrics(records)
+        assert metrics.total_tests == 12
+
+
+class TestHighIntensityFindings:
+    def test_nonroot_lifecycle_under_fault_reproduces_inconsistent_state(self):
+        plan = paper_high_intensity_nonroot_plan(num_tests=6, duration=8.0,
+                                                 base_seed=9100)
+        result = Campaign(plan).run()
+        counts = result.outcome_counts()
+        # The characteristic finding: the cell is allocated, reported running,
+        # but never produces output.
+        assert counts[Outcome.INCONSISTENT_STATE] >= 3
+        inconsistent = result.results_with_outcome(Outcome.INCONSISTENT_STATE)
+        for entry in inconsistent:
+            assert entry.management is not None
+            assert entry.management.create_succeeded
+            assert entry.management.start_succeeded
+            assert entry.target_cell_lines == 0
+
+    def test_corrupted_root_management_calls_are_rejected_not_misallocated(self):
+        spec = ExperimentSpec(
+            name="root-mgmt", target=InjectionTarget.hvc_handler(cpus={0}),
+            trigger=EveryNCalls(2), fault_model=MultiRegisterBitFlip(count=4),
+            scenario=Scenario.REPEATED_LIFECYCLE,
+            duration=10.0, observe_time=5.0, warmup_time=0.5,
+            seed=31337, intensity="high",
+        )
+        result = Experiment(spec).run()
+        extras = result.extras
+        assert extras["create_attempts"] >= 1
+        # The safety property behind the paper's "expected behaviour": no
+        # rejected request ever leaves a cell allocated.
+        assert extras["wrongly_allocated"] == 0
+
+    def test_cpu_park_is_isolated_and_recoverable(self):
+        result = Experiment(park_provoking_spec(seed=77, duration=40.0)).run()
+        assert result.outcome is Outcome.CPU_PARK
+        assert result.extras["park_observed"]
+        assert result.extras["destroy_returned_resources"]
+        assert result.extras["root_cell_alive_after_destroy"]
+        assert result.extras["isolation_preserved"]
+
+
+class TestDeterminism:
+    def test_identical_specs_yield_identical_outcomes(self):
+        def run():
+            spec = ExperimentSpec(
+                name="det", target=InjectionTarget.nonroot_cpu_trap(),
+                trigger=EveryNCalls(40), fault_model=SingleBitFlip(),
+                duration=15.0, seed=555, intensity="medium",
+            )
+            result = Experiment(spec).run()
+            return (result.outcome, result.injections, result.target_cell_lines)
+
+        assert run() == run()

@@ -1,0 +1,230 @@
+"""Property-based tests for framework invariants (fault models, configs,
+queues, classifier, records)."""
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.faultmodels import MultiRegisterBitFlip, SingleBitFlip
+from repro.core.outcomes import (
+    ManagementEvidence,
+    Outcome,
+    OutcomeClassifier,
+    OutcomeEvidence,
+)
+from repro.core.monitors import AvailabilityReport, HypervisorObservation
+from repro.core.recording import ExperimentRecord
+from repro.core.triggers import EveryNCalls
+from repro.errors import ConfigurationError
+from repro.guests.freertos.queue import MessageQueue
+from repro.hw.memory import MemoryFlags
+from repro.hw.registers import ARCHITECTURAL_REGISTERS, TrapContext, WORD_MASK
+from repro.hypervisor.config import CellConfig, MemoryAssignment
+from repro.hypervisor.paging import CellMemoryMap
+
+words = st.integers(min_value=0, max_value=WORD_MASK)
+
+
+class TestFaultModelProperties:
+    @given(seed=st.integers(0, 2**32 - 1),
+           values=st.dictionaries(st.sampled_from(list(ARCHITECTURAL_REGISTERS)),
+                                  words))
+    @settings(max_examples=80)
+    def test_single_bit_flip_changes_exactly_one_register_by_one_bit(self, seed, values):
+        context = TrapContext(cpu_id=0, registers=dict(values))
+        reference = context.copy()
+        faults = SingleBitFlip().apply(context, np.random.default_rng(seed))
+        diff = reference.diff(context)
+        assert len(faults) == 1 and len(diff) == 1
+        register, before, after = diff[0]
+        assert bin(before ^ after).count("1") == 1
+        assert register is faults[0].register
+
+    @given(seed=st.integers(0, 2**32 - 1), count=st.integers(1, 17))
+    @settings(max_examples=80)
+    def test_multi_register_flip_touches_exactly_count_registers(self, seed, count):
+        context = TrapContext(cpu_id=0)
+        reference = context.copy()
+        faults = MultiRegisterBitFlip(count=count).apply(
+            context, np.random.default_rng(seed)
+        )
+        assert len(faults) == count
+        assert len({fault.register for fault in faults}) == count
+        assert len(reference.diff(context)) == count
+
+    @given(n=st.integers(1, 500), calls=st.integers(1, 2000))
+    @settings(max_examples=60)
+    def test_every_n_trigger_fires_floor_calls_over_n_times(self, n, calls):
+        rng = np.random.default_rng(0)
+        trigger = EveryNCalls(n)
+        fired = sum(trigger.should_fire(index, rng) for index in range(1, calls + 1))
+        assert fired == calls // n
+
+
+assignments = st.lists(
+    st.tuples(st.integers(0, 64), st.integers(1, 16), st.integers(0, 256)),
+    min_size=1, max_size=6,
+)
+
+
+class TestConfigProperties:
+    @given(specs=assignments, cpus=st.sets(st.integers(0, 3), min_size=1))
+    @settings(max_examples=80)
+    def test_serialization_round_trip_preserves_validated_configs(self, specs, cpus):
+        memory = []
+        for index, (virt_page, size_pages, phys_page) in enumerate(specs):
+            memory.append(
+                MemoryAssignment(
+                    name=f"region-{index}",
+                    virt_start=virt_page * 0x1000,
+                    phys_start=0x4000_0000 + phys_page * 0x1000,
+                    size=size_pages * 0x1000,
+                    flags=MemoryFlags.RW,
+                )
+            )
+        config = CellConfig(name="prop-cell", cpus=set(cpus), memory=memory)
+        try:
+            config.validate()
+        except ConfigurationError:
+            assume(False)
+        restored = CellConfig.from_bytes(config.to_bytes())
+        assert restored.cpus == config.cpus
+        assert [m.virt_start for m in restored.memory] == [m.virt_start for m in config.memory]
+        assert [m.size for m in restored.memory] == [m.size for m in config.memory]
+
+    @given(specs=assignments)
+    @settings(max_examples=80)
+    def test_memory_map_never_accepts_overlapping_guest_ranges(self, specs):
+        memory = [
+            MemoryAssignment(
+                name=f"region-{index}",
+                virt_start=virt_page * 0x1000,
+                phys_start=0x4000_0000 + index * 0x100_0000,
+                size=size_pages * 0x1000,
+                flags=MemoryFlags.RW,
+            )
+            for index, (virt_page, size_pages, _) in enumerate(specs)
+        ]
+        try:
+            cell_map = CellMemoryMap.from_assignments("cell", memory)
+        except ConfigurationError:
+            return
+        mappings = cell_map.mappings
+        for mapping in mappings:
+            for other in mappings:
+                if mapping is other:
+                    continue
+                assert not (mapping.virt_start < other.virt_end
+                            and other.virt_start < mapping.virt_end)
+
+
+class TestQueueProperties:
+    @given(operations=st.lists(
+        st.one_of(st.tuples(st.just("send"), st.integers()),
+                  st.tuples(st.just("recv"), st.just(0))),
+        max_size=200,
+    ), capacity=st.integers(1, 16))
+    @settings(max_examples=80)
+    def test_queue_is_fifo_and_bounded(self, operations, capacity):
+        queue = MessageQueue("q", capacity=capacity)
+        model = []
+        for kind, value in operations:
+            if kind == "send":
+                accepted = queue.send(value)
+                if len(model) < capacity:
+                    assert accepted
+                    model.append(value)
+                else:
+                    assert not accepted
+            else:
+                item = queue.receive()
+                if model:
+                    assert item is not None and item.payload == model.pop(0)
+                else:
+                    assert item is None
+            assert len(queue) == len(model)
+            assert len(queue) <= capacity
+
+
+def make_evidence(panicked, parked_error, create_failed, target_silent):
+    observation = HypervisorObservation(
+        panicked=panicked,
+        panic_reason="r" if panicked else None,
+        parked_cpus=((1, 0x24),) if parked_error else (),
+        cpu_online_failures=0,
+        failed_hypercalls=0,
+        cell_states={"FreeRTOS": "running"},
+        inconsistent_cells=(),
+    )
+    availability = {
+        "FreeRTOS": AvailabilityReport(
+            cell_name="FreeRTOS", window_start=0.0, window_end=60.0,
+            lines=0 if target_silent else 100,
+            lines_per_second=0.0 if target_silent else 1.6,
+            silent_intervals=1 if target_silent else 0,
+            longest_silence=60.0 if target_silent else 1.0,
+            available=not target_silent,
+        ),
+        "root": AvailabilityReport(
+            cell_name="root", window_start=0.0, window_end=60.0, lines=30,
+            lines_per_second=0.5, silent_intervals=0, longest_silence=2.0,
+            available=True,
+        ),
+    }
+    management = ManagementEvidence(
+        create_attempted=create_failed, create_succeeded=not create_failed,
+    )
+    return OutcomeEvidence(
+        observation=observation, availability=availability,
+        management=management, target_cell="FreeRTOS", root_cell="root",
+    )
+
+
+class TestClassifierProperties:
+    @given(panicked=st.booleans(), parked=st.booleans(),
+           create_failed=st.booleans(), silent=st.booleans())
+    def test_classifier_is_total_and_respects_precedence(self, panicked, parked,
+                                                         create_failed, silent):
+        evidence = make_evidence(panicked, parked, create_failed, silent)
+        classified = OutcomeClassifier().classify(evidence)
+        assert isinstance(classified.outcome, Outcome)
+        assert classified.rationale
+        if panicked:
+            assert classified.outcome is Outcome.PANIC_PARK
+        elif create_failed:
+            assert classified.outcome is Outcome.INVALID_ARGUMENTS
+        elif parked:
+            assert classified.outcome is Outcome.CPU_PARK
+        elif not silent:
+            assert classified.outcome is Outcome.CORRECT
+
+
+record_strategy = st.builds(
+    ExperimentRecord,
+    spec_name=st.text(min_size=1, max_size=20),
+    outcome=st.sampled_from([outcome.value for outcome in Outcome]),
+    rationale=st.text(max_size=40),
+    injections=st.integers(0, 1000),
+    duration=st.floats(min_value=0.0, max_value=600.0, allow_nan=False),
+    seed=st.integers(0, 10**6),
+    scenario=st.sampled_from(["steady_state", "lifecycle_under_fault"]),
+    target=st.text(min_size=1, max_size=30),
+    fault_model=st.text(min_size=1, max_size=30),
+    intensity=st.sampled_from(["medium", "high", "custom"]),
+    register_class_counts=st.dictionaries(
+        st.sampled_from(["gpr", "sp", "lr", "pc", "status"]), st.integers(0, 50),
+        max_size=5,
+    ),
+    target_cell_lines=st.integers(0, 10_000),
+    root_cell_lines=st.integers(0, 10_000),
+    create_attempted=st.booleans(),
+    create_succeeded=st.booleans(),
+    start_attempted=st.booleans(),
+    start_succeeded=st.booleans(),
+)
+
+
+class TestRecordProperties:
+    @given(record=record_strategy)
+    @settings(max_examples=80)
+    def test_json_round_trip_is_lossless(self, record):
+        assert ExperimentRecord.from_json(record.to_json()) == record

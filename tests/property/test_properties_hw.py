@@ -1,0 +1,113 @@
+"""Property-based tests for the hardware substrate invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MemoryAccessError, RegionOverlapError
+from repro.hw.memory import MemoryFlags, MemoryRegion, PhysicalMemory
+from repro.hw.registers import (
+    ARCHITECTURAL_REGISTERS,
+    Register,
+    RegisterFile,
+    TrapContext,
+    WORD_BITS,
+    WORD_MASK,
+    flip_bit,
+)
+
+registers_strategy = st.sampled_from(list(ARCHITECTURAL_REGISTERS))
+words = st.integers(min_value=0, max_value=WORD_MASK)
+bits = st.integers(min_value=0, max_value=WORD_BITS - 1)
+
+
+class TestBitFlipAlgebra:
+    @given(value=words, bit=bits)
+    def test_flip_is_an_involution(self, value, bit):
+        assert flip_bit(flip_bit(value, bit), bit) == value
+
+    @given(value=words, bit=bits)
+    def test_flip_changes_exactly_one_bit(self, value, bit):
+        flipped = flip_bit(value, bit)
+        assert bin(value ^ flipped).count("1") == 1
+        assert 0 <= flipped <= WORD_MASK
+
+    @given(value=words, first=bits, second=bits)
+    def test_flips_commute(self, value, first, second):
+        assert flip_bit(flip_bit(value, first), second) == \
+            flip_bit(flip_bit(value, second), first)
+
+
+class TestRegisterFileProperties:
+    @given(register=registers_strategy, value=words)
+    def test_write_read_round_trip(self, register, value):
+        regs = RegisterFile()
+        regs.write(register, value)
+        assert regs.read(register) == value
+
+    @given(values=st.dictionaries(registers_strategy, words, min_size=1))
+    def test_snapshot_load_round_trip(self, values):
+        regs = RegisterFile()
+        regs.load(values)
+        snapshot = regs.snapshot()
+        other = RegisterFile()
+        other.load(snapshot)
+        assert other == regs
+
+    @given(register=registers_strategy, value=words, bit=bits)
+    def test_context_flip_matches_flip_bit(self, register, value, bit):
+        context = TrapContext(cpu_id=0, registers={register: value})
+        context.flip(register, bit)
+        assert context.read(register) == flip_bit(value, bit)
+
+    @given(values=st.dictionaries(registers_strategy, words))
+    def test_diff_is_empty_iff_contexts_equal(self, values):
+        context = TrapContext(cpu_id=0, registers=dict(values))
+        clone = context.copy()
+        assert context.diff(clone) == []
+        if values:
+            register = next(iter(values))
+            clone.flip(register, 3)
+            assert len(context.diff(clone)) == 1
+
+
+region_specs = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=1 << 20),
+              st.integers(min_value=1, max_value=1 << 12)),
+    min_size=1, max_size=8,
+)
+
+
+class TestMemoryProperties:
+    @given(specs=region_specs)
+    @settings(max_examples=60)
+    def test_regions_never_overlap_after_construction(self, specs):
+        memory = PhysicalMemory()
+        added = []
+        for index, (start, size) in enumerate(specs):
+            region = MemoryRegion(f"r{index}", start, size, MemoryFlags.RW)
+            try:
+                memory.add_region(region)
+                added.append(region)
+            except RegionOverlapError:
+                # The invariant is that rejection happens exactly when the
+                # candidate overlaps something already accepted.
+                assert any(region.overlaps(existing) for existing in added)
+        for region in added:
+            others = [other for other in added if other is not region]
+            assert not any(region.overlaps(other) for other in others)
+
+    @given(offset=st.integers(min_value=0, max_value=0x2000 - 8),
+           payload=st.binary(min_size=1, max_size=8))
+    @settings(max_examples=60)
+    def test_write_then_read_returns_the_same_bytes(self, offset, payload):
+        memory = PhysicalMemory([MemoryRegion("ram", 0x0, 0x2000, MemoryFlags.RW)])
+        memory.write_bytes(offset, payload)
+        assert memory.read_bytes(offset, len(payload)) == payload
+
+    @given(address=st.integers(min_value=0x3000, max_value=0x10000))
+    def test_unmapped_addresses_always_fault(self, address):
+        memory = PhysicalMemory([MemoryRegion("ram", 0x0, 0x2000, MemoryFlags.RW)])
+        try:
+            memory.read(address, 4)
+            assert False, "expected a fault"
+        except MemoryAccessError as error:
+            assert error.address == address

@@ -1,0 +1,198 @@
+"""Tests for the ISO 26262 / SEooC assessment layer."""
+
+import pytest
+
+from repro.core.outcomes import Outcome
+from repro.core.recording import ExperimentRecord
+from repro.errors import SafetyAssessmentError
+from repro.safety.asil import (
+    AsilLevel,
+    decomposition_pairs,
+    mixed_criticality_allowed,
+    valid_decomposition,
+)
+from repro.safety.evidence import build_evidence_report
+from repro.safety.failure_modes import (
+    FailureMode,
+    classify_failure_mode,
+    detectability,
+    fmea_table,
+    format_fmea,
+    severity,
+)
+from repro.safety.metrics import compare_metrics, compute_isolation_metrics
+from repro.safety.seooc import AssumptionStatus, SeoocAssessment, default_assumptions
+
+
+def record(outcome: Outcome, seed: int, **kwargs) -> ExperimentRecord:
+    defaults = dict(
+        spec_name=f"t{seed}", outcome=outcome.value, rationale="", injections=10,
+        duration=60.0, seed=seed, scenario="steady_state", target="trap",
+        fault_model="single-bit-flip", intensity="medium",
+    )
+    defaults.update(kwargs)
+    return ExperimentRecord(**defaults)
+
+
+def campaign_records(correct=30, panic=0, park=5, invalid=5, inconsistent=0,
+                     silent=0):
+    records = []
+    seed = 0
+    for outcome, count in ((Outcome.CORRECT, correct), (Outcome.PANIC_PARK, panic),
+                           (Outcome.CPU_PARK, park),
+                           (Outcome.INVALID_ARGUMENTS, invalid),
+                           (Outcome.INCONSISTENT_STATE, inconsistent),
+                           (Outcome.SILENT_FAILURE, silent)):
+        for _ in range(count):
+            create_attempted = outcome in (Outcome.INVALID_ARGUMENTS, Outcome.CORRECT)
+            records.append(record(
+                outcome, seed,
+                create_attempted=create_attempted,
+                create_succeeded=outcome is not Outcome.INVALID_ARGUMENTS,
+            ))
+            seed += 1
+    return records
+
+
+class TestAsil:
+    def test_ordering_and_labels(self):
+        assert AsilLevel.D > AsilLevel.A > AsilLevel.QM
+        assert AsilLevel.D.label == "ASIL D"
+        assert AsilLevel.QM.label == "QM"
+        assert AsilLevel.C.is_at_least(AsilLevel.B)
+
+    def test_from_name_parsing(self):
+        assert AsilLevel.from_name("ASIL-D") is AsilLevel.D
+        assert AsilLevel.from_name("b") is AsilLevel.B
+        assert AsilLevel.from_name("QM") is AsilLevel.QM
+        with pytest.raises(SafetyAssessmentError):
+            AsilLevel.from_name("Z")
+
+    def test_decomposition_pairs_follow_iso_26262(self):
+        assert (AsilLevel.B, AsilLevel.B) in decomposition_pairs(AsilLevel.D)
+        assert (AsilLevel.C, AsilLevel.A) in decomposition_pairs(AsilLevel.D)
+        assert decomposition_pairs(AsilLevel.QM) == []
+        assert valid_decomposition(AsilLevel.D, AsilLevel.A, AsilLevel.C)
+        assert not valid_decomposition(AsilLevel.D, AsilLevel.A, AsilLevel.A)
+
+    def test_mixed_criticality_needs_demonstrated_isolation(self):
+        levels = [AsilLevel.D, AsilLevel.QM]
+        assert not mixed_criticality_allowed(levels, isolation_demonstrated=False)
+        assert mixed_criticality_allowed(levels, isolation_demonstrated=True)
+        assert mixed_criticality_allowed([AsilLevel.B, AsilLevel.B],
+                                         isolation_demonstrated=False)
+        with pytest.raises(SafetyAssessmentError):
+            mixed_criticality_allowed([], isolation_demonstrated=True)
+
+
+class TestFailureModes:
+    def test_outcome_to_failure_mode_mapping(self):
+        assert classify_failure_mode(Outcome.PANIC_PARK) is FailureMode.COMMON_CAUSE_FAILURE
+        assert classify_failure_mode(Outcome.CPU_PARK) is FailureMode.PARTITION_LOSS_CONTAINED
+        assert classify_failure_mode(Outcome.INVALID_ARGUMENTS) is FailureMode.SAFE_REJECTION
+        assert classify_failure_mode(Outcome.INCONSISTENT_STATE) is FailureMode.STATE_DIVERGENCE
+        assert classify_failure_mode(Outcome.CORRECT) is FailureMode.NO_FAILURE
+
+    def test_severity_and_detectability_ordering(self):
+        # Losing every partition is worse than losing one, and the state
+        # divergence the paper flags is hard to detect.
+        assert severity(FailureMode.COMMON_CAUSE_FAILURE) > severity(
+            FailureMode.PARTITION_LOSS_CONTAINED)
+        assert detectability(FailureMode.STATE_DIVERGENCE) > detectability(
+            FailureMode.COMMON_CAUSE_FAILURE)
+
+    def test_fmea_table_covers_observed_outcomes_and_sorts_by_risk(self):
+        records = campaign_records(correct=10, panic=5, park=3, inconsistent=2)
+        table = fmea_table(records)
+        outcomes = {entry.outcome for entry in table}
+        assert Outcome.PANIC_PARK in outcomes and Outcome.CORRECT in outcomes
+        priorities = [entry.risk_priority for entry in table]
+        assert priorities == sorted(priorities, reverse=True)
+        assert sum(entry.occurrences for entry in table) == len(records)
+        text = format_fmea(table)
+        assert "common-cause" in text
+        assert format_fmea([]) == "(no experiments)"
+
+
+class TestIsolationMetrics:
+    def test_metrics_computation(self):
+        records = campaign_records(correct=30, panic=10, park=5, invalid=5)
+        metrics = compute_isolation_metrics(records)
+        assert metrics.total_tests == 50
+        assert metrics.effective_tests == 20
+        assert metrics.containment.fraction == pytest.approx(0.5)
+        assert metrics.detection.fraction == pytest.approx(1.0)
+        assert metrics.system_availability.fraction == pytest.approx(0.8)
+        assert "containment" in metrics.describe()
+
+    def test_compare_metrics_renders_table(self):
+        a = compute_isolation_metrics(campaign_records(panic=10))
+        b = compute_isolation_metrics(campaign_records(panic=0))
+        text = compare_metrics({"jailhouse": a, "bao": b})
+        assert "jailhouse" in text and "bao" in text
+        assert compare_metrics({}) == "(no systems)"
+
+
+class TestSeooc:
+    def test_clean_campaign_validates_all_assumptions(self):
+        records = campaign_records(correct=40, panic=0, park=8, invalid=8)
+        assessment = SeoocAssessment()
+        verdicts = assessment.assess(records)
+        assert len(verdicts) == len(default_assumptions())
+        assert all(v.status is AssumptionStatus.VALIDATED for v in verdicts)
+        assert assessment.certification_ready(verdicts)
+
+    def test_panic_heavy_campaign_violates_containment(self):
+        records = campaign_records(correct=20, panic=20, park=2, invalid=2)
+        verdicts = SeoocAssessment().assess(records)
+        by_id = {verdict.identifier: verdict for verdict in verdicts}
+        assert by_id["AoU-1"].status is AssumptionStatus.VIOLATED
+        assert by_id["AoU-4"].status is AssumptionStatus.VIOLATED
+        assert not SeoocAssessment().certification_ready(verdicts)
+
+    def test_inconsistent_state_violates_detection_assumption(self):
+        records = campaign_records(correct=40, inconsistent=3)
+        by_id = {v.identifier: v for v in SeoocAssessment().assess(records)}
+        assert by_id["AoU-2"].status is AssumptionStatus.VIOLATED
+
+    def test_small_campaigns_are_inconclusive(self):
+        records = campaign_records(correct=3, park=1, invalid=0)
+        verdicts = SeoocAssessment().assess(records)
+        assert any(v.status is AssumptionStatus.INCONCLUSIVE for v in verdicts)
+
+    def test_assessment_requires_records(self):
+        with pytest.raises(SafetyAssessmentError):
+            SeoocAssessment().assess([])
+
+
+class TestEvidenceReport:
+    def test_report_combines_campaigns_and_renders(self):
+        report = build_evidence_report(
+            {
+                "fig3": campaign_records(correct=30, panic=0, park=5),
+                "high-root": campaign_records(correct=10, park=0, invalid=10),
+            },
+            remarks=["synthetic data for unit testing"],
+        )
+        assert report.total_tests == 60
+        text = report.render()
+        assert "SEooC assessment evidence" in text
+        assert "AoU-1" in text and "AoU-4" in text
+        assert "Conclusion" in text
+        assert "synthetic data" in text
+
+    def test_report_conclusion_tracks_readiness(self):
+        ready = build_evidence_report({"c": campaign_records(correct=40, park=8,
+                                                             invalid=8)})
+        assert ready.certification_ready
+        assert "can proceed" in ready.render()
+        not_ready = build_evidence_report({"c": campaign_records(correct=10,
+                                                                 panic=20)})
+        assert not not_ready.certification_ready
+        assert "NOT ready" in not_ready.render()
+
+    def test_report_requires_campaigns_with_records(self):
+        with pytest.raises(SafetyAssessmentError):
+            build_evidence_report({})
+        with pytest.raises(SafetyAssessmentError):
+            build_evidence_report({"empty": []})
