@@ -13,6 +13,12 @@ reproduction without writing Python:
 Every campaign can persist its records with ``--output records.jsonl`` so the
 slow part (running experiments) is decoupled from analysis and reporting, the
 same way the paper separates test execution from log analysis.
+
+Campaign subcommands execute through the parallel engine: ``--jobs N`` fans
+the plan out over N worker processes (``--jobs 0`` = one per CPU) with
+results identical to a sequential run, and ``--resume PATH`` streams records
+to an append-only checkpoint at PATH, skipping specs already recorded there —
+a killed campaign picks up where it left off.
 """
 
 from __future__ import annotations
@@ -40,6 +46,7 @@ from repro.core.report import (
 )
 from repro.core.analysis import outcome_distribution
 from repro.core.targets import InjectionTarget
+from repro.engine import CampaignEngine
 from repro.hypervisor.handlers import ALL_HANDLERS
 from repro.safety.evidence import build_evidence_report
 
@@ -62,9 +69,20 @@ def _save_records(result, output: Optional[str]) -> None:
         print(f"saved {count} records to {output}")
 
 
-def _progress(done: int, total: int, result) -> None:
-    print(f"  [{done:>4}/{total}] {result.outcome.value:<20} "
-          f"({result.injections} injections)")
+def _progress(snapshot, result) -> None:
+    print(f"  {snapshot.format_line()}  {result.outcome.value}")
+
+
+def _run_plan(plan, args):
+    """Execute a plan through the engine with the shared campaign flags."""
+    engine = CampaignEngine(
+        plan,
+        jobs=args.jobs,
+        checkpoint_path=args.resume,
+        resume=args.resume is not None,
+        progress=_progress if args.verbose else None,
+    )
+    return engine.run()
 
 
 def cmd_golden(args: argparse.Namespace) -> int:
@@ -82,7 +100,7 @@ def cmd_golden(args: argparse.Namespace) -> int:
 def cmd_fig3(args: argparse.Namespace) -> int:
     plan = paper_figure3_plan(num_tests=args.tests, duration=args.duration,
                               base_seed=args.seed)
-    result = Campaign(plan).run(progress=_progress if args.verbose else None)
+    result = _run_plan(plan, args)
     print(format_figure3(result.to_records(), paper_reference=PAPER_FIGURE3))
     _save_records(result, args.output)
     return 0
@@ -106,7 +124,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         base_seed=args.seed,
         name=args.name or f"cli-{intensity.value}-{target.describe()}",
     )
-    result = Campaign(plan).run(progress=_progress if args.verbose else None)
+    result = _run_plan(plan, args)
     print(format_campaign_summary(result))
     _save_records(result, args.output)
     return 0
@@ -159,6 +177,11 @@ def build_parser() -> argparse.ArgumentParser:
     fig3.add_argument("--duration", type=float, default=60.0)
     fig3.add_argument("--seed", type=int, default=0)
     fig3.add_argument("--output", help="write records to this .jsonl file")
+    fig3.add_argument("--jobs", type=int, default=1,
+                      help="worker processes (0 = one per CPU)")
+    fig3.add_argument("--resume", metavar="PATH",
+                      help="checkpoint records to PATH and skip specs "
+                           "already recorded there")
     fig3.add_argument("--verbose", action="store_true")
     fig3.set_defaults(func=cmd_fig3)
 
@@ -177,6 +200,11 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--seed", type=int, default=0)
     campaign.add_argument("--name")
     campaign.add_argument("--output", help="write records to this .jsonl file")
+    campaign.add_argument("--jobs", type=int, default=1,
+                          help="worker processes (0 = one per CPU)")
+    campaign.add_argument("--resume", metavar="PATH",
+                          help="checkpoint records to PATH and skip specs "
+                               "already recorded there")
     campaign.add_argument("--verbose", action="store_true")
     campaign.set_defaults(func=cmd_campaign)
 

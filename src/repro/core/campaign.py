@@ -142,19 +142,42 @@ class Campaign:
     # -- execution ------------------------------------------------------------------------------
 
     def run(self, *, golden: bool = False,
-            progress: Optional[ProgressCallback] = None) -> CampaignResult:
-        """Execute every experiment in the plan."""
-        campaign_result = CampaignResult(plan_name=self.plan.name)
+            progress: Optional[ProgressCallback] = None,
+            jobs: int = 1,
+            checkpoint_path: Optional[str] = None,
+            resume: bool = False) -> CampaignResult:
+        """Execute every experiment in the plan.
+
+        Execution is delegated to the :class:`~repro.engine.runner.
+        CampaignEngine`; the default ``jobs=1`` runs in-process in plan order,
+        exactly as the historical sequential loop did, while ``jobs=N`` (or
+        ``jobs=0`` for one worker per CPU) fans the plan out across a process
+        pool. ``checkpoint_path`` streams completed records to an append-only
+        file; with ``resume=True`` specs whose records already exist there are
+        restored instead of re-executed.
+        """
+        # Imported here: the engine returns this module's CampaignResult, so a
+        # top-level import would be circular.
+        from repro.engine.runner import CampaignEngine
+
+        engine_progress = None
+        if progress is not None:
+            engine_progress = (
+                lambda snapshot, result:
+                    progress(snapshot.completed, snapshot.total, result)
+            )
+        engine = CampaignEngine(
+            self.plan,
+            jobs=jobs,
+            sut_factory=self.sut_factory,
+            classifier=self.classifier,
+            checkpoint_path=checkpoint_path,
+            resume=resume,
+            progress=engine_progress,
+        )
+        campaign_result = engine.run()
         if golden:
             campaign_result.golden = self.golden_run()
-        total = len(self.plan)
-        for index, spec in enumerate(self.plan):
-            result = Experiment(
-                spec, sut_factory=self.sut_factory, classifier=self.classifier
-            ).run()
-            campaign_result.results.append(result)
-            if progress is not None:
-                progress(index + 1, total, result)
         return campaign_result
 
     def run_single(self, spec: ExperimentSpec) -> ExperimentResult:

@@ -17,6 +17,7 @@ and classify the outcome. Three scenarios cover the paper's evaluation:
 from __future__ import annotations
 
 import enum
+import hashlib
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
@@ -38,6 +39,43 @@ from repro.hw.registers import RegisterClass
 
 #: Default per-test duration used by the paper ("each test lasts 1 min.").
 PAPER_TEST_DURATION = 60.0
+
+
+def _component_state(component: object) -> str:
+    """Deterministic textual state of a target/trigger/fault-model.
+
+    ``describe()`` strings are for humans and lossy (e.g. two
+    ``MultiRegisterBitFlip`` counts share one name), so spec identity hashes
+    the component's public attributes instead. Enums collapse to their
+    values, sets are sorted, and nested objects (custom trigger/fault-model
+    helpers) recurse into *their* public state — never the default ``repr``,
+    whose memory address would change every process and silently defeat
+    resume.
+    """
+    def normalize(value):
+        if isinstance(value, enum.Enum):
+            return value.value
+        if isinstance(value, (set, frozenset)):
+            return sorted(normalize(entry) for entry in value)
+        if isinstance(value, (list, tuple)):
+            return [normalize(entry) for entry in value]
+        if isinstance(value, dict):
+            return {key: normalize(entry)
+                    for key, entry in sorted(value.items())}
+        if value is None or isinstance(value, (bool, int, float, str, bytes)):
+            return value
+        return _component_state(value)
+
+    try:
+        attributes = vars(component)
+    except TypeError:                       # __slots__ or builtin: no state
+        return type(component).__name__
+    state = {
+        key: normalize(value)
+        for key, value in sorted(attributes.items())
+        if not key.startswith("_")
+    }
+    return f"{type(component).__name__}:{state!r}"
 
 
 class Scenario(enum.Enum):
@@ -71,6 +109,30 @@ class ExperimentSpec:
             f"{self.target.describe()} ({self.trigger.describe()}), "
             f"{self.scenario.value}, {self.duration:.0f}s, seed {self.seed}"
         )
+
+    def identity(self) -> str:
+        """Stable identity of this spec (name + seed + scenario/setup hash).
+
+        The engine's checkpoint layer keys completed work on this value, so a
+        resumed campaign only skips a spec when the experiment it would run is
+        the same one that produced the stored record. Two specs that share a
+        name but differ in seed, scenario, target, trigger, fault model, or
+        any timing parameter therefore get distinct identities.
+        """
+        payload = "|".join((
+            self.name,
+            str(self.seed),
+            self.scenario.value,
+            _component_state(self.target),
+            _component_state(self.trigger),
+            _component_state(self.fault_model),
+            f"{self.duration:g}",
+            f"{self.settle_time:g}",
+            f"{self.warmup_time:g}",
+            f"{self.observe_time:g}",
+            self.intensity,
+        ))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
 @dataclass

@@ -19,7 +19,7 @@ from repro.core.experiment import ExperimentSpec, PAPER_TEST_DURATION, Scenario
 from repro.core.faultmodels import FaultModel, MultiRegisterBitFlip, SingleBitFlip
 from repro.core.targets import InjectionTarget
 from repro.core.triggers import EveryNCalls, Trigger
-from repro.errors import CampaignError
+from repro.errors import CampaignError, PlanError
 
 
 class IntensityLevel(enum.Enum):
@@ -64,10 +64,20 @@ class TestPlan:
 
     def validate(self) -> None:
         if not self.specs:
-            raise CampaignError(f"test plan {self.name!r} has no experiments")
-        names = [spec.name for spec in self.specs]
-        if len(names) != len(set(names)):
-            raise CampaignError(f"test plan {self.name!r} has duplicate experiment names")
+            raise PlanError(f"test plan {self.name!r} has no experiments")
+        seen: set = set()
+        duplicates: List[str] = []
+        for spec in self.specs:
+            if spec.name in seen and spec.name not in duplicates:
+                duplicates.append(spec.name)
+            seen.add(spec.name)
+        if duplicates:
+            raise PlanError(
+                f"test plan {self.name!r} has duplicate experiment names: "
+                f"{duplicates}; names must be unique within a plan — together "
+                f"with seed and scenario they form the checkpoint/resume "
+                f"fallback key"
+            )
 
     def describe(self) -> str:
         lines = [f"Test plan {self.name!r}: {len(self.specs)} experiments"]

@@ -73,6 +73,52 @@ class ExperimentRecord:
     def outcome_enum(self) -> Outcome:
         return Outcome(self.outcome)
 
+    @property
+    def spec_id(self) -> Optional[str]:
+        """The :meth:`ExperimentSpec.identity` stamp, if the record has one.
+
+        Records written through the engine's checkpoint layer carry it in
+        ``extras``; records saved by older code paths do not, and resume falls
+        back to the (spec_name, seed, scenario) triple for those.
+        """
+        value = self.extras.get("spec_id")
+        return value if isinstance(value, str) else None
+
+    def to_result(self) -> ExperimentResult:
+        """Rebuild an :class:`ExperimentResult` view of this record.
+
+        Used by the engine when resuming a checkpointed campaign: specs whose
+        records already exist are not re-executed, so their results are
+        reconstructed from disk. ``wall_time`` is not persisted and comes back
+        as ``0.0``; management evidence keeps the summary booleans only. The
+        checkpoint-internal ``spec_id`` stamp is stripped so restored results
+        stay indistinguishable from freshly executed ones.
+        """
+        management = ManagementEvidence(
+            create_attempted=self.create_attempted,
+            create_succeeded=self.create_succeeded,
+            start_attempted=self.start_attempted,
+            start_succeeded=self.start_succeeded,
+        )
+        return ExperimentResult(
+            spec_name=self.spec_name,
+            outcome=self.outcome_enum,
+            rationale=self.rationale,
+            injections=self.injections,
+            duration=self.duration,
+            seed=self.seed,
+            scenario=self.scenario,
+            target=self.target,
+            fault_model=self.fault_model,
+            intensity=self.intensity,
+            register_class_counts=dict(self.register_class_counts),
+            management=management,
+            target_cell_lines=self.target_cell_lines,
+            root_cell_lines=self.root_cell_lines,
+            extras={key: value for key, value in self.extras.items()
+                    if key != "spec_id"},
+        )
+
     def to_json(self) -> str:
         return json.dumps(asdict(self), sort_keys=True)
 
@@ -104,11 +150,18 @@ class RecordStore:
     def __init__(self, path: "str | Path") -> None:
         self.path = Path(path)
 
+    def _ensure_parent(self) -> None:
+        parent = self.path.parent
+        if not parent.exists():
+            parent.mkdir(parents=True, exist_ok=True)
+
     def append(self, record: ExperimentRecord) -> None:
+        self._ensure_parent()
         with self.path.open("a", encoding="utf-8") as handle:
             handle.write(record.to_json() + "\n")
 
     def write_all(self, records: Iterable[ExperimentRecord]) -> int:
+        self._ensure_parent()
         count = 0
         with self.path.open("w", encoding="utf-8") as handle:
             for record in records:

@@ -1,0 +1,49 @@
+"""Parallel campaign execution engine.
+
+The paper's methodology is thousands of independent fault-injection
+experiments per campaign; this subsystem executes them at scale. It separates
+*plan* from *execution* the way chaos-engineering harnesses do: a
+:class:`~repro.core.plan.TestPlan` is sharded into a deterministic work
+queue (:mod:`~repro.engine.scheduler`), executed across a worker pool that
+rebuilds each system under test from spec + seed
+(:mod:`~repro.engine.workers`), streamed to an append-only checkpoint that
+makes runs resumable (:mod:`~repro.engine.checkpoint`), and aggregated live
+(:mod:`~repro.engine.aggregate`). :class:`CampaignEngine`
+(:mod:`~repro.engine.runner`) ties the pieces together; ``Campaign.run``
+delegates here with ``jobs=1``, so the sequential API is just the smallest
+configuration of the same engine.
+"""
+
+from repro.engine.aggregate import (
+    AggregateSnapshot,
+    EngineProgress,
+    LiveAggregator,
+)
+from repro.engine.checkpoint import Checkpoint
+from repro.engine.runner import CampaignEngine
+from repro.engine.scheduler import (
+    Shard,
+    WorkItem,
+    build_work_queue,
+    shard_for_pool,
+    shard_work,
+    suggest_chunk_size,
+)
+from repro.engine.workers import execute_pool, execute_serial, resolve_jobs
+
+__all__ = [
+    "AggregateSnapshot",
+    "CampaignEngine",
+    "Checkpoint",
+    "EngineProgress",
+    "LiveAggregator",
+    "Shard",
+    "WorkItem",
+    "build_work_queue",
+    "execute_pool",
+    "execute_serial",
+    "resolve_jobs",
+    "shard_for_pool",
+    "shard_work",
+    "suggest_chunk_size",
+]

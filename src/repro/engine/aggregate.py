@@ -1,0 +1,100 @@
+"""Streaming aggregation of campaign results.
+
+The paper analyses its campaigns after the fact, from the collected logs; at
+production scale you also want the headline numbers — outcome distribution,
+failure rate, throughput — *while* the campaign runs, so a bad configuration
+is caught after a hundred experiments, not after ten thousand. The engine
+feeds every completed result (including ones restored from a checkpoint) to a
+:class:`LiveAggregator`, which maintains rolling counts and hands immutable
+:class:`AggregateSnapshot`\\ s to the progress callback.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.core.experiment import ExperimentResult
+from repro.core.outcomes import Outcome
+
+
+@dataclass(frozen=True)
+class AggregateSnapshot:
+    """Point-in-time view of a running campaign."""
+
+    total: int
+    completed: int
+    resumed: int
+    outcome_counts: Dict[str, int]
+    failures: int
+    injections: int
+    elapsed: float
+
+    @property
+    def executed(self) -> int:
+        """Experiments actually run this session (completed minus restored)."""
+        return self.completed - self.resumed
+
+    @property
+    def failure_rate(self) -> float:
+        return self.failures / self.completed if self.completed else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Experiments executed per wall-clock second this session."""
+        return self.executed / self.elapsed if self.elapsed > 0 else 0.0
+
+    def format_line(self) -> str:
+        """One-line progress summary for CLI output."""
+        return (
+            f"[{self.completed:>4}/{self.total}] "
+            f"failure rate {self.failure_rate:6.1%}, "
+            f"{self.injections} injections, "
+            f"{self.throughput:5.1f} tests/s"
+        )
+
+
+#: Engine progress callback: called once per completed experiment with the
+#: rolling aggregate and the result that just landed.
+EngineProgress = Callable[[AggregateSnapshot, ExperimentResult], None]
+
+
+class LiveAggregator:
+    """Accumulates outcome statistics as results stream in."""
+
+    def __init__(self, total: int) -> None:
+        self.total = total
+        self.completed = 0
+        self.resumed = 0
+        self.failures = 0
+        self.injections = 0
+        self.outcome_counts: Dict[str, int] = {
+            outcome.value: 0 for outcome in Outcome
+        }
+        self._started = time.perf_counter()
+
+    def restore(self, result: ExperimentResult) -> AggregateSnapshot:
+        """Fold in a result recovered from a checkpoint (not executed now)."""
+        self.resumed += 1
+        return self.update(result)
+
+    def update(self, result: ExperimentResult) -> AggregateSnapshot:
+        self.completed += 1
+        self.failures += 1 if result.failed else 0
+        self.injections += result.injections
+        self.outcome_counts[result.outcome.value] = (
+            self.outcome_counts.get(result.outcome.value, 0) + 1
+        )
+        return self.snapshot()
+
+    def snapshot(self) -> AggregateSnapshot:
+        return AggregateSnapshot(
+            total=self.total,
+            completed=self.completed,
+            resumed=self.resumed,
+            outcome_counts=dict(self.outcome_counts),
+            failures=self.failures,
+            injections=self.injections,
+            elapsed=time.perf_counter() - self._started,
+        )

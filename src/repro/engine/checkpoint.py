@@ -1,0 +1,201 @@
+"""Checkpoint/resume bookkeeping for campaign execution.
+
+The paper's campaigns run for hours (hundreds of one-minute tests per target
+and intensity); losing a run to a crash or preemption means re-paying all of
+it. The engine therefore streams every completed
+:class:`~repro.core.recording.ExperimentRecord` to an append-only
+JSON-Lines checkpoint (a plain :class:`~repro.core.recording.RecordStore`
+file — the same format ``--output`` and the analysis layer use), and on
+resume skips every spec whose record is already present.
+
+Completed work is keyed on :meth:`ExperimentSpec.identity` — a hash of name,
+seed, scenario, and the injection setup — which the checkpoint stamps into
+each record's ``extras["spec_id"]``; a spec whose definition changed between
+runs hashes differently and is re-executed rather than wrongly skipped.
+Records written by other code paths (e.g. a plain ``CampaignResult.save``)
+lack the stamp; for those, matching falls back to the ``(spec_name, seed,
+scenario)`` triple cross-checked against the setup fields the record *does*
+persist (duration, target, fault model, intensity) — best-effort, but enough
+to catch a spec whose setup visibly changed. On resume the checkpoint is
+also reconciled with the plan: records superseded by changed definitions and
+orphans of renamed/removed specs are pruned, so after a successful run the
+file holds exactly one record per plan spec and downstream reporting never
+double-counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.experiment import ExperimentResult, ExperimentSpec
+from repro.core.plan import TestPlan
+from repro.core.recording import ExperimentRecord, RecordStore
+from repro.errors import AnalysisError
+
+#: Fallback identity for records without a ``spec_id`` stamp.
+_Triple = Tuple[str, int, str]
+
+
+class Checkpoint:
+    """Append-only record of completed specs, enabling resume."""
+
+    def __init__(self, path: "str | Path") -> None:
+        self.store = RecordStore(path)
+        self._records: List[ExperimentRecord] = []
+        self._records_by_id: Dict[str, ExperimentRecord] = {}
+        self._records_by_triple: Dict[_Triple, ExperimentRecord] = {}
+
+    @property
+    def path(self) -> Path:
+        return self.store.path
+
+    # -- loading ------------------------------------------------------------------------
+
+    def load(self) -> int:
+        """Read existing records from disk; returns how many were found.
+
+        A campaign killed mid-append leaves a torn final line; that is the
+        exact crash resume exists for, so the torn tail is discarded (its
+        spec simply re-runs) and the file is rewritten without it so later
+        appends do not merge into the partial line. Malformed records
+        *before* the last line mean real corruption and still raise.
+        """
+        path = self.store.path
+        if not path.exists():
+            return 0
+        with path.open("r", encoding="utf-8") as handle:
+            lines = [line.strip() for line in handle]
+        lines = [line for line in lines if line]
+        records: List[ExperimentRecord] = []
+        torn_tail = False
+        for position, line in enumerate(lines):
+            try:
+                records.append(ExperimentRecord.from_json(line))
+            except AnalysisError:
+                if position == len(lines) - 1:
+                    torn_tail = True
+                else:
+                    raise
+        if torn_tail:
+            self.store.write_all(records)
+        for record in records:
+            self._remember(record)
+        return len(records)
+
+    def _remember(self, record: ExperimentRecord) -> None:
+        self._records.append(record)
+        spec_id = record.spec_id
+        if spec_id is not None:
+            self._records_by_id[spec_id] = record
+        self._records_by_triple[(record.spec_name, record.seed,
+                                 record.scenario)] = record
+
+    def clear(self) -> None:
+        """Truncate the checkpoint file (fresh, non-resumed run)."""
+        self.store.write_all([])
+        self._records.clear()
+        self._records_by_id.clear()
+        self._records_by_triple.clear()
+
+    def prune_stale(self, plan: TestPlan) -> int:
+        """Reconcile the checkpoint with the plan it is resuming.
+
+        Keeps exactly the records that are resumable for some plan spec and
+        drops everything else: records superseded by a changed spec
+        definition (same triple, different identity/setup) and orphans of
+        specs that were renamed or removed from the plan. Non-resumable specs
+        will re-run and append fresh records, so after a successful run the
+        file holds one record per plan spec and downstream reporting
+        (``repro report <checkpoint>``) never double-counts. The checkpoint
+        is the engine's working state, not an archive — records to keep
+        across plan edits belong in ``--output`` files. Returns how many
+        records were removed.
+        """
+        resumable: Dict[_Triple, ExperimentRecord] = {}
+        for spec in plan:
+            record = self._record_for(spec)
+            if record is not None:
+                resumable[(record.spec_name, record.seed,
+                           record.scenario)] = record
+        kept = [
+            record for record in self._records
+            if resumable.get((record.spec_name, record.seed,
+                              record.scenario)) is record
+        ]
+        removed = len(self._records) - len(kept)
+        if removed:
+            self._records = kept
+            self._records_by_id = {
+                record.spec_id: record for record in kept
+                if record.spec_id is not None
+            }
+            self._records_by_triple = {
+                (record.spec_name, record.seed, record.scenario): record
+                for record in kept
+            }
+            self.store.write_all(kept)
+        return removed
+
+    # -- queries ------------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records_by_triple)
+
+    def is_complete(self, spec: ExperimentSpec) -> bool:
+        return self._record_for(spec) is not None
+
+    def _record_for(self, spec: ExperimentSpec) -> Optional[ExperimentRecord]:
+        record = self._records_by_id.get(spec.identity())
+        if record is not None:
+            return record
+        # The triple fallback only applies to records written without an
+        # identity stamp (e.g. a plain CampaignResult.save). A stamped record
+        # whose identity does not match means the spec definition changed —
+        # the spec must be re-executed, not matched loosely. Unstamped records
+        # are additionally cross-checked against the setup fields they persist
+        # so a changed spec is not silently "restored" from stale results.
+        record = self._records_by_triple.get(
+            (spec.name, spec.seed, spec.scenario.value)
+        )
+        if (record is not None and record.spec_id is None
+                and self._legacy_matches(spec, record)):
+            return record
+        return None
+
+    @staticmethod
+    def _legacy_matches(spec: ExperimentSpec, record: ExperimentRecord) -> bool:
+        return (record.duration == spec.duration
+                and record.target == spec.target.describe()
+                and record.fault_model == spec.fault_model.describe()
+                and record.intensity == spec.intensity)
+
+    def result_for(self, spec: ExperimentSpec) -> Optional[ExperimentResult]:
+        """Rebuild the stored result for a completed spec, if any."""
+        record = self._record_for(spec)
+        return record.to_result() if record is not None else None
+
+    def completed_indices(self, plan: TestPlan) -> Set[int]:
+        """Plan positions whose specs already have checkpointed records."""
+        return {
+            index for index, spec in enumerate(plan) if self.is_complete(spec)
+        }
+
+    # -- writing ------------------------------------------------------------------------
+
+    def commit(self, spec: ExperimentSpec,
+               result: ExperimentResult) -> ExperimentRecord:
+        """Persist one completed experiment and mark its spec done.
+
+        Called from the parent process only (workers hand results back over
+        the pool), so appends never interleave. The record is stamped with the
+        spec identity so a later resume matches on the strong key.
+        """
+        record = ExperimentRecord.from_result(result)
+        record = replace(
+            record, extras={**record.extras, "spec_id": spec.identity()}
+        )
+        self.store.append(record)
+        self._remember(record)
+        return record

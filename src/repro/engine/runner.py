@@ -1,0 +1,121 @@
+"""The campaign execution engine.
+
+:class:`CampaignEngine` is the parallel, resumable counterpart of the
+sequential loop that used to live in ``Campaign.run`` (which now delegates
+here). It composes the other engine modules:
+
+* :mod:`repro.engine.scheduler` orders the plan into a deterministic work
+  queue and chunks it for the pool;
+* :mod:`repro.engine.workers` executes chunks — in-process for ``jobs=1``,
+  across a multiprocessing pool otherwise, each worker rebuilding the system
+  under test from spec + seed so parallel output is identical to sequential;
+* :mod:`repro.engine.checkpoint` streams completed records to an append-only
+  file and, on resume, skips specs whose records already exist;
+* :mod:`repro.engine.aggregate` folds results into rolling statistics
+  surfaced through the progress callback.
+
+At the paper's campaign sizes (hundreds of one-minute tests per target
+function / register class / injection rate, several campaigns per table) the
+sequential loop is the bottleneck; the engine makes a campaign scale with the
+machine while keeping results reproducible experiment-for-experiment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.campaign import CampaignResult
+from repro.core.experiment import (
+    ExperimentResult,
+    SutFactory,
+    default_sut_factory,
+)
+from repro.core.outcomes import OutcomeClassifier
+from repro.core.plan import TestPlan
+from repro.engine.aggregate import EngineProgress, LiveAggregator
+from repro.engine.checkpoint import Checkpoint
+from repro.engine.scheduler import build_work_queue
+from repro.engine.workers import execute_pool, execute_serial, resolve_jobs
+from repro.errors import CampaignError
+
+
+class CampaignEngine:
+    """Executes a test plan across workers, with checkpoint/resume."""
+
+    def __init__(self, plan: TestPlan, *,
+                 jobs: int = 1,
+                 sut_factory: SutFactory = default_sut_factory,
+                 classifier: Optional[OutcomeClassifier] = None,
+                 checkpoint_path: Optional[str] = None,
+                 resume: bool = False,
+                 chunk_size: Optional[int] = None,
+                 progress: Optional[EngineProgress] = None) -> None:
+        plan.validate()
+        if resume and checkpoint_path is None:
+            raise CampaignError("resume requires a checkpoint path")
+        self.plan = plan
+        self.jobs = resolve_jobs(jobs)
+        self.sut_factory = sut_factory
+        self.classifier = classifier or OutcomeClassifier()
+        self.checkpoint = (
+            Checkpoint(checkpoint_path) if checkpoint_path is not None else None
+        )
+        self.resume = resume
+        self.chunk_size = chunk_size
+        self.progress = progress
+
+    def run(self) -> CampaignResult:
+        """Execute the plan and return results in plan order.
+
+        Completion order is whatever the pool produces; results are slotted
+        back by plan position, so the returned ``CampaignResult`` is
+        indistinguishable from a sequential run over the same seeds.
+        """
+        total = len(self.plan)
+        slots: List[Optional[ExperimentResult]] = [None] * total
+        aggregator = LiveAggregator(total)
+
+        skip = set()
+        if self.checkpoint is not None:
+            if self.resume:
+                self.checkpoint.load()
+                self.checkpoint.prune_stale(self.plan)
+                skip = self.checkpoint.completed_indices(self.plan)
+            else:
+                # A fresh run must not inherit stale records at the same path.
+                self.checkpoint.clear()
+
+        for index, spec in enumerate(self.plan):
+            if index not in skip:
+                continue
+            restored = self.checkpoint.result_for(spec)  # type: ignore[union-attr]
+            slots[index] = restored
+            if restored is not None:
+                snapshot = aggregator.restore(restored)
+                if self.progress is not None:
+                    self.progress(snapshot, restored)
+
+        queue = build_work_queue(self.plan, skip_indices=skip)
+        specs_by_index = {item.index: item.spec for item in queue}
+        if self.jobs == 1:
+            stream = execute_serial(queue, self.sut_factory, self.classifier)
+        else:
+            stream = execute_pool(queue, self.jobs, self.sut_factory,
+                                  self.classifier, chunk_size=self.chunk_size)
+
+        for index, result in stream:
+            slots[index] = result
+            if self.checkpoint is not None:
+                self.checkpoint.commit(specs_by_index[index], result)
+            snapshot = aggregator.update(result)
+            if self.progress is not None:
+                self.progress(snapshot, result)
+
+        missing = [index for index, slot in enumerate(slots) if slot is None]
+        if missing:
+            raise CampaignError(
+                f"campaign {self.plan.name!r} finished with "
+                f"{len(missing)} unexecuted experiments (first: {missing[:5]})"
+            )
+        return CampaignResult(plan_name=self.plan.name,
+                              results=[slot for slot in slots if slot is not None])

@@ -1,0 +1,135 @@
+"""Worker-pool execution of experiment specs.
+
+Each worker process rebuilds the system under test from the spec plus its
+seed — exactly what :class:`~repro.core.experiment.Experiment` does in a
+sequential run — so a parallel campaign is bit-identical to the sequential
+one: the simulation is deterministic given the seed, and no state is shared
+between experiments. Workers receive *chunks* of
+:class:`~repro.engine.scheduler.WorkItem`\\ s and return ``(plan index,
+ExperimentResult)`` pairs; completion order is arbitrary, re-assembly by index
+happens in the parent.
+
+Two backends share one streaming interface (an iterator of ``(index,
+result)``):
+
+* :func:`execute_serial` — in-process, used for ``jobs=1`` (the default path
+  every existing ``Campaign.run`` caller goes through) and as the fallback
+  when the platform offers no usable multiprocessing start method;
+* :func:`execute_pool` — a ``multiprocessing`` pool, preferring the ``fork``
+  start method (cheap on Linux, and it lets custom ``sut_factory`` closures
+  cross into workers without pickling) and falling back to ``spawn``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.experiment import (
+    Experiment,
+    ExperimentResult,
+    SutFactory,
+    default_sut_factory,
+)
+from repro.core.outcomes import OutcomeClassifier
+from repro.engine.scheduler import WorkItem, shard_for_pool
+from repro.errors import CampaignError
+
+#: One streamed unit of completed work: (position in the plan, its result).
+IndexedResult = Tuple[int, ExperimentResult]
+
+# Per-worker-process state, populated once by the pool initializer so chunk
+# payloads stay small (specs only, no factory/classifier per task).
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(sut_factory: SutFactory,
+                 classifier: Optional[OutcomeClassifier]) -> None:
+    _WORKER_STATE["sut_factory"] = sut_factory
+    _WORKER_STATE["classifier"] = classifier or OutcomeClassifier()
+
+
+def _run_item(item: WorkItem, sut_factory: SutFactory,
+              classifier: OutcomeClassifier) -> IndexedResult:
+    experiment = Experiment(item.spec, sut_factory=sut_factory,
+                            classifier=classifier)
+    return item.index, experiment.run()
+
+
+def _run_chunk(chunk: Sequence[WorkItem]) -> List[IndexedResult]:
+    """Pool task: run one chunk inside a worker process."""
+    sut_factory = _WORKER_STATE["sut_factory"]
+    classifier = _WORKER_STATE["classifier"]
+    return [_run_item(item, sut_factory, classifier) for item in chunk]
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0`` means one per CPU."""
+    if jobs is None or jobs == 0:
+        return max(os.cpu_count() or 1, 1)
+    if jobs < 0:
+        raise CampaignError(f"jobs must be positive (or 0 for auto), got {jobs}")
+    return jobs
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # fork is only trusted on Linux: macOS lists it as available but CPython
+    # made spawn the default there for a reason (forking a threaded process
+    # can crash/deadlock workers).
+    if (sys.platform == "linux"
+            and "fork" in multiprocessing.get_all_start_methods()):
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context("spawn")
+
+
+def execute_serial(items: Sequence[WorkItem],
+                   sut_factory: SutFactory = default_sut_factory,
+                   classifier: Optional[OutcomeClassifier] = None,
+                   ) -> Iterator[IndexedResult]:
+    """Run every item in queue order in this process (the ``jobs=1`` backend)."""
+    classifier = classifier or OutcomeClassifier()
+    for item in items:
+        yield _run_item(item, sut_factory, classifier)
+
+
+def execute_pool(items: Sequence[WorkItem],
+                 jobs: int,
+                 sut_factory: SutFactory = default_sut_factory,
+                 classifier: Optional[OutcomeClassifier] = None,
+                 chunk_size: Optional[int] = None,
+                 ) -> Iterator[IndexedResult]:
+    """Run items across ``jobs`` worker processes, streaming completions.
+
+    Results are yielded as chunks finish (arbitrary order); callers that need
+    plan order re-assemble by index. The pool is torn down before the iterator
+    is exhausted returns, so a consumer that stops early still releases the
+    workers.
+
+    ``chunk_size`` defaults to 1: every completed experiment streams back (and
+    checkpoints) immediately, which is what the paper's minute-long tests
+    need. Pass a larger value (see
+    :func:`~repro.engine.scheduler.suggest_chunk_size`) only when experiments
+    are so short that per-task dispatch overhead dominates.
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs == 1 or len(items) <= 1:
+        yield from execute_serial(items, sut_factory, classifier)
+        return
+    size = chunk_size or 1
+    shards = shard_for_pool(items, size)
+    context = _pool_context()
+    pool = context.Pool(
+        processes=min(jobs, len(shards)),
+        initializer=_init_worker,
+        initargs=(sut_factory, classifier),
+    )
+    try:
+        tasks = [shard.items for shard in shards]
+        for chunk_results in pool.imap_unordered(_run_chunk, tasks):
+            for indexed in chunk_results:
+                yield indexed
+    finally:
+        pool.terminate()
+        pool.join()

@@ -97,6 +97,14 @@ class CampaignError(InjectionError):
     """A campaign or test plan is invalid or was interrupted."""
 
 
+class PlanError(CampaignError):
+    """A test plan is structurally invalid (empty, duplicate names, ...).
+
+    Subclasses :class:`CampaignError` so existing callers that catch the
+    broader class keep working.
+    """
+
+
 class TargetError(InjectionError):
     """An injection target does not exist on the system under test."""
 

@@ -1,0 +1,114 @@
+"""Round-trip, rejection, and persistence tests for experiment records.
+
+Satellite coverage for the engine PR: JSON round-trips must be lossless,
+malformed input must fail loudly (the checkpoint layer trusts these
+guarantees), and saving records must work even when the output directory does
+not exist yet.
+"""
+
+import pytest
+
+from repro.core.campaign import Campaign
+from repro.core.experiment import ExperimentSpec
+from repro.core.plan import TestPlan, paper_figure3_plan
+from repro.core.recording import ExperimentRecord, RecordStore
+from repro.core.targets import InjectionTarget
+from repro.core.triggers import EveryNCalls
+from repro.core.faultmodels import SingleBitFlip
+from repro.errors import AnalysisError, CampaignError, PlanError
+
+
+@pytest.fixture(scope="module")
+def campaign_result():
+    return Campaign(paper_figure3_plan(num_tests=3, duration=2.0)).run()
+
+
+@pytest.fixture(scope="module")
+def records(campaign_result):
+    return campaign_result.to_records()
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_equality(self, records):
+        for record in records:
+            assert ExperimentRecord.from_json(record.to_json()) == record
+
+    def test_round_trip_through_store(self, records, tmp_path):
+        store = RecordStore(tmp_path / "rt.jsonl")
+        store.write_all(records)
+        assert store.load() == list(records)
+
+    def test_malformed_line_is_rejected(self):
+        with pytest.raises(AnalysisError, match="malformed"):
+            ExperimentRecord.from_json("{not json")
+
+    def test_non_object_line_is_rejected(self):
+        with pytest.raises(AnalysisError, match="JSON object"):
+            ExperimentRecord.from_json("[1, 2, 3]")
+
+    def test_unknown_fields_are_rejected(self, records):
+        import json
+        payload = json.loads(records[0].to_json())
+        payload["bogus_field"] = 1
+        with pytest.raises(AnalysisError, match="unknown fields"):
+            ExperimentRecord.from_json(json.dumps(payload))
+
+    def test_missing_required_fields_are_rejected(self):
+        with pytest.raises(AnalysisError, match="missing fields"):
+            ExperimentRecord.from_json('{"spec_name": "only-a-name"}')
+
+    def test_to_result_rebuilds_the_result_view(self, campaign_result, records):
+        for original, record in zip(campaign_result.results, records):
+            rebuilt = record.to_result()
+            assert rebuilt.spec_name == original.spec_name
+            assert rebuilt.outcome is original.outcome
+            assert rebuilt.injections == original.injections
+            assert rebuilt.seed == original.seed
+            assert rebuilt.register_class_counts == original.register_class_counts
+            # And the rebuilt result serializes back to the same record.
+            assert ExperimentRecord.from_result(rebuilt) == record
+
+
+class TestSaveCreatesDirectories:
+    def test_campaign_save_into_missing_directory(self, campaign_result, tmp_path):
+        target = tmp_path / "out" / "campaigns" / "run.jsonl"
+        count = campaign_result.save(str(target))
+        assert count == 3
+        assert len(RecordStore(target).load()) == 3
+
+    def test_append_into_missing_directory(self, records, tmp_path):
+        store = RecordStore(tmp_path / "missing" / "append.jsonl")
+        store.append(records[0])
+        assert store.load() == [records[0]]
+
+
+class TestSpecIdentityAndPlanValidation:
+    def _spec(self, **overrides):
+        base = dict(
+            name="spec", target=InjectionTarget.trap_handler(),
+            trigger=EveryNCalls(100), fault_model=SingleBitFlip(), seed=7,
+        )
+        base.update(overrides)
+        return ExperimentSpec(**base)
+
+    def test_identity_is_stable_across_instances(self):
+        assert self._spec().identity() == self._spec().identity()
+
+    def test_identity_depends_on_seed_and_setup(self):
+        base = self._spec()
+        assert base.identity() != self._spec(seed=8).identity()
+        assert base.identity() != self._spec(duration=5.0).identity()
+        assert base.identity() != self._spec(
+            trigger=EveryNCalls(50)).identity()
+
+    def test_duplicate_spec_names_raise_plan_error(self):
+        plan = TestPlan(name="dup")
+        plan.add(self._spec())
+        plan.add(self._spec(seed=8))
+        with pytest.raises(PlanError, match="duplicate experiment names"):
+            plan.validate()
+
+    def test_plan_error_is_a_campaign_error(self):
+        assert issubclass(PlanError, CampaignError)
+        with pytest.raises(CampaignError):
+            TestPlan(name="empty").validate()
