@@ -80,6 +80,7 @@ def _run_plan(plan, args):
         jobs=args.jobs,
         checkpoint_path=args.resume,
         resume=args.resume is not None,
+        pooling=getattr(args, "pooling", False),
         progress=_progress if args.verbose else None,
     )
     return engine.run()
@@ -182,6 +183,10 @@ def build_parser() -> argparse.ArgumentParser:
     fig3.add_argument("--resume", metavar="PATH",
                       help="checkpoint records to PATH and skip specs "
                            "already recorded there")
+    fig3.add_argument("--pooling", action="store_true",
+                      help="reuse one booted SUT per worker via "
+                           "snapshot/restore instead of cold-booting every "
+                           "experiment (outcomes are identical)")
     fig3.add_argument("--verbose", action="store_true")
     fig3.set_defaults(func=cmd_fig3)
 
@@ -205,6 +210,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--resume", metavar="PATH",
                           help="checkpoint records to PATH and skip specs "
                                "already recorded there")
+    campaign.add_argument("--pooling", action="store_true",
+                          help="reuse one booted SUT per worker via "
+                               "snapshot/restore instead of cold-booting "
+                               "every experiment (outcomes are identical)")
     campaign.add_argument("--verbose", action="store_true")
     campaign.set_defaults(func=cmd_campaign)
 

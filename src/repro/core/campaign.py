@@ -145,7 +145,8 @@ class Campaign:
             progress: Optional[ProgressCallback] = None,
             jobs: int = 1,
             checkpoint_path: Optional[str] = None,
-            resume: bool = False) -> CampaignResult:
+            resume: bool = False,
+            pooling: bool = False) -> CampaignResult:
         """Execute every experiment in the plan.
 
         Execution is delegated to the :class:`~repro.engine.runner.
@@ -154,7 +155,10 @@ class Campaign:
         ``jobs=0`` for one worker per CPU) fans the plan out across a process
         pool. ``checkpoint_path`` streams completed records to an append-only
         file; with ``resume=True`` specs whose records already exist there are
-        restored instead of re-executed.
+        restored instead of re-executed. ``pooling=True`` enables SUT
+        snapshot/reset pooling: each worker boots one system under test and
+        restores it between experiments, with outcomes identical to cold
+        boots.
         """
         # Imported here: the engine returns this module's CampaignResult, so a
         # top-level import would be circular.
@@ -173,6 +177,7 @@ class Campaign:
             classifier=self.classifier,
             checkpoint_path=checkpoint_path,
             resume=resume,
+            pooling=pooling,
             progress=engine_progress,
         )
         campaign_result = engine.run()

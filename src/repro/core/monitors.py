@@ -98,10 +98,7 @@ class HypervisorMonitor:
         self.hypervisor = hypervisor
 
     def observe(self, window_start: float, window_end: float) -> HypervisorObservation:
-        events = [
-            event for event in self.hypervisor.events
-            if window_start <= event.timestamp <= window_end
-        ]
+        events = self.hypervisor.events_between(window_start, window_end)
         parked: List[Tuple[int, Optional[int]]] = []
         for cpu in self.hypervisor.board.cpus:
             if cpu.is_parked and cpu.park_history:
@@ -144,8 +141,13 @@ class LogCollector:
         self.uart = uart
         self._start: Optional[float] = None
 
-    def start(self, timestamp: float) -> None:
+    def start(self, timestamp: Optional[float]) -> None:
         self._start = timestamp
+
+    @property
+    def start_time(self) -> Optional[float]:
+        """When collection started (None before :meth:`start`)."""
+        return self._start
 
     def collect(self, end_timestamp: float) -> str:
         if self._start is None:

@@ -18,11 +18,13 @@ import abc
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from repro.core.injection import FaultInjector
 from repro.core.monitors import AvailabilityMonitor, HypervisorMonitor, LogCollector
 from repro.core.outcomes import ManagementEvidence, OutcomeEvidence
 from repro.errors import CampaignError
-from repro.guests.base import GuestEvent, GuestOS
+from repro.guests.base import GuestEvent, GuestOS, GuestState
 from repro.guests.freertos.kernel import FreeRTOSKernel
 from repro.guests.freertos.workloads import build_paper_workload
 from repro.guests.linux import LinuxGuest
@@ -34,7 +36,7 @@ from repro.hypervisor.config import (
     bananapi_system_config,
     freertos_cell_config,
 )
-from repro.hypervisor.core import Hypervisor
+from repro.hypervisor.core import Hypervisor, HypervisorState
 from repro.hypervisor.handlers import TrapResult
 from repro.hypervisor.traps import TrapCode, encode_hsr
 
@@ -50,6 +52,27 @@ class SutConfig:
     inmate_entry_offset: int = 0x0
     create_ivshmem: bool = True
     max_resume_faults_per_step: int = 4
+
+
+@dataclass
+class SutSnapshot:
+    """Full mutable state of a :class:`JailhouseSUT` at one instant.
+
+    Captured by :meth:`JailhouseSUT.snapshot` and written back in place by
+    :meth:`JailhouseSUT.restore`: restoring mutates the existing object graph
+    (board RAM pages, CPU/GIC/timer state, hypervisor cell registry, guest
+    kernel state) instead of rebuilding it, so references between components
+    — guests attached to cells, MMIO handlers bound to regions, injector
+    hooks — stay valid.
+    """
+
+    board: dict
+    hypervisor: dict
+    cli: dict
+    linux: dict
+    freertos: dict
+    log_start: Optional[float]
+    lifecycle_done: bool
 
 
 class SystemUnderTest(abc.ABC):
@@ -112,11 +135,27 @@ class JailhouseSUT(SystemUnderTest):
         self.injectors: List[FaultInjector] = []
         self._lifecycle_done = False
         self._log_collector = LogCollector(self.board.uart)
+        #: Snapshot-pooling state: ``_pristine`` is the post-construction
+        #: state (captured when pooling is enabled), ``_boot_snapshot`` the
+        #: post-``setup()`` steady state for the current seed.
+        self._pooling = False
+        self._pristine: Optional[SutSnapshot] = None
+        self._boot_snapshot: Optional[SutSnapshot] = None
 
     # -- setup ---------------------------------------------------------------------------
 
     def setup(self) -> None:
-        """Power on the board, enable the hypervisor, boot the root cell."""
+        """Boot to the steady state: restore the boot snapshot if one exists.
+
+        With snapshot pooling enabled, the first ``setup()`` cold-boots and
+        captures the steady state; later ``setup()`` calls (after a
+        :meth:`teardown` between experiments) restore it instead of
+        re-running the boot sequence. Without pooling this is always the cold
+        boot path.
+        """
+        if self._boot_snapshot is not None:
+            self.restore(self._boot_snapshot)
+            return
         self.board.power_on()
         system_config = bananapi_system_config()
         result = self.cli.enable(system_config)
@@ -127,6 +166,67 @@ class JailhouseSUT(SystemUnderTest):
         self.linux.attach(root, self.board)
         self.linux.boot()
         self._log_collector.start(self.board.clock.now)
+        if self._pooling:
+            self._boot_snapshot = self.snapshot()
+
+    # -- snapshot / restore / pooling ------------------------------------------------------
+
+    def snapshot(self) -> SutSnapshot:
+        """Capture the full mutable state of the deployment.
+
+        Injector hooks installed on the handlers are captured too (as
+        references); a snapshot is normally taken with no injector installed
+        — the engine snapshots the fault-free steady state right after
+        :meth:`setup`.
+        """
+        return SutSnapshot(
+            board=self.board.snapshot_state(),
+            hypervisor=self.hypervisor.snapshot_state(),
+            cli=self.cli.snapshot_state(),
+            linux=self.linux.snapshot_state(),
+            freertos=self.freertos.snapshot_state(),
+            log_start=self._log_collector.start_time,
+            lifecycle_done=self._lifecycle_done,
+        )
+
+    def restore(self, snapshot: SutSnapshot) -> None:
+        """Restore a prior :meth:`snapshot` in place (object identity kept)."""
+        self.board.restore_state(snapshot.board)
+        self.hypervisor.restore_state(snapshot.hypervisor)
+        self.cli.restore_state(snapshot.cli)
+        self.linux.restore_state(snapshot.linux)
+        self.freertos.restore_state(snapshot.freertos)
+        self._log_collector.start(snapshot.log_start)
+        self._lifecycle_done = snapshot.lifecycle_done
+        self.injectors.clear()
+
+    def enable_snapshot_pooling(self) -> None:
+        """Opt this SUT into snapshot/reset pooling (used by the engine).
+
+        Must be called before the first :meth:`setup`; captures the pristine
+        post-construction state so :meth:`reset_for_seed` can later retarget
+        the same object graph to a different experiment seed.
+        """
+        if self._pooling:
+            return
+        self._pooling = True
+        self._pristine = self.snapshot()
+
+    def reset_for_seed(self, seed: int) -> None:
+        """Retarget a pooled SUT to a new seed without rebuilding it.
+
+        Restores the pristine post-construction state and re-seeds the guest
+        RNG streams exactly as ``JailhouseSUT(SutConfig(seed=seed))`` would,
+        so the subsequent cold :meth:`setup` (which re-captures the boot
+        snapshot) is bit-identical to a freshly constructed SUT.
+        """
+        if self._pristine is None:
+            raise CampaignError("snapshot pooling is not enabled on this SUT")
+        self.restore(self._pristine)
+        self._boot_snapshot = None
+        self.config.seed = seed
+        self.linux.rng = np.random.default_rng(seed)
+        self.freertos.rng = np.random.default_rng(seed + 1)
 
     def install_injector(self, injector: FaultInjector) -> None:
         injector.install(self.hypervisor.handlers)
@@ -194,38 +294,51 @@ class JailhouseSUT(SystemUnderTest):
     def run(self, duration: float) -> None:
         """Drive the workload; stops early if the whole system panics."""
         steps = max(1, int(round(duration / self.config.timestep)))
+        timestep = self.config.timestep
+        hypervisor = self.hypervisor
+        panicked_state = HypervisorState.PANICKED
+        step = self._step
         for _ in range(steps):
-            if self.hypervisor.panicked:
+            if hypervisor.state is panicked_state:
                 break
-            self._step(self.config.timestep)
+            step(timestep)
 
     def _step(self, dt: float) -> None:
-        self.board.advance(dt)
-        now = self.board.clock.now
-        for cpu in self.board.cpus:
-            if not cpu.is_executing:
+        # Hot path: attribute lookups hoisted, ``is_executing`` inlined as a
+        # state comparison — this runs 50 times per simulated second.
+        board = self.board
+        hypervisor = self.hypervisor
+        handlers = hypervisor.handlers
+        gic_pending = board.gic._pending
+        online = CpuState.ONLINE
+        panicked_state = HypervisorState.PANICKED
+        board.advance(dt)
+        now = board.clock.now
+        for cpu in board.cpus:
+            if cpu.state is not online:
                 continue
-            cell = self.hypervisor.cell_of_cpu(cpu.cpu_id)
+            cpu_id = cpu.cpu_id
+            cell = hypervisor.cell_of_cpu(cpu_id)
             if cell is None or not cell.state.is_running:
                 continue
             guest = cell.guest
-            if guest is None or not guest.alive:
+            if guest is None or guest.state is not GuestState.RUNNING:
                 continue
             # Pending interrupts enter through irqchip_handle_irq().
-            if self.board.gic.has_pending(cpu.cpu_id):
+            if gic_pending[cpu_id]:
                 context = cpu.enter_trap("irq", 0, timestamp=now)
-                result = self.hypervisor.handlers.irqchip_handle_irq(cpu, context)
+                result = handlers.irqchip_handle_irq(cpu, context)
                 if result is TrapResult.HANDLED:
-                    follow_up = guest.resume_from_trap(cpu.cpu_id, context)
+                    follow_up = guest.resume_from_trap(cpu_id, context)
                     if follow_up is not None:
-                        self._dispatch_guest_event(cpu.cpu_id, guest, follow_up, depth=1)
-                if self.hypervisor.panicked or not cpu.is_executing:
+                        self._dispatch_guest_event(cpu_id, guest, follow_up, depth=1)
+                if hypervisor.state is panicked_state or cpu.state is not online:
                     continue
             # Workload-generated VM exits enter through arch_handle_trap()/hvc().
-            for event in guest.step(cpu.cpu_id, now, dt):
-                if self.hypervisor.panicked or not cpu.is_executing:
+            for event in guest.step(cpu_id, now, dt):
+                if hypervisor.state is panicked_state or cpu.state is not online:
                     break
-                self._dispatch_guest_event(cpu.cpu_id, guest, event, depth=0)
+                self._dispatch_guest_event(cpu_id, guest, event, depth=0)
 
     def _dispatch_guest_event(self, cpu_id: int, guest: GuestOS,
                               event: GuestEvent, *, depth: int) -> None:

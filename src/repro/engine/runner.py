@@ -49,6 +49,7 @@ class CampaignEngine:
                  checkpoint_path: Optional[str] = None,
                  resume: bool = False,
                  chunk_size: Optional[int] = None,
+                 pooling: bool = False,
                  progress: Optional[EngineProgress] = None) -> None:
         plan.validate()
         if resume and checkpoint_path is None:
@@ -62,6 +63,11 @@ class CampaignEngine:
         )
         self.resume = resume
         self.chunk_size = chunk_size
+        #: Snapshot/reset pooling: each worker keeps one system under test
+        #: alive and restores it between experiments instead of rebuilding.
+        #: Outcomes are identical either way (see the campaign-parity tests);
+        #: specs can opt out individually with ``cold_boot=True``.
+        self.pooling = pooling
         self.progress = progress
 
     def run(self) -> CampaignResult:
@@ -98,10 +104,12 @@ class CampaignEngine:
         queue = build_work_queue(self.plan, skip_indices=skip)
         specs_by_index = {item.index: item.spec for item in queue}
         if self.jobs == 1:
-            stream = execute_serial(queue, self.sut_factory, self.classifier)
+            stream = execute_serial(queue, self.sut_factory, self.classifier,
+                                    self.pooling)
         else:
             stream = execute_pool(queue, self.jobs, self.sut_factory,
-                                  self.classifier, chunk_size=self.chunk_size)
+                                  self.classifier, chunk_size=self.chunk_size,
+                                  pooling=self.pooling)
 
         for index, result in stream:
             slots[index] = result

@@ -45,15 +45,62 @@ IndexedResult = Tuple[int, ExperimentResult]
 _WORKER_STATE: dict = {}
 
 
+class PooledSutFactory:
+    """SUT factory with snapshot/reset pooling.
+
+    Keeps one system under test per process and retargets it between
+    experiments instead of rebuilding the whole board + hypervisor + guest
+    stack: a spec re-running the seed the SUT last booted restores the
+    post-``setup()`` snapshot directly, any other seed restores the pristine
+    post-construction state and re-seeds the guest RNG streams before the
+    (much cheaper) warm boot. Outcomes are bit-identical to cold boots — the
+    campaign-parity tests assert it record for record.
+
+    SUTs that do not implement the pooling protocol
+    (``enable_snapshot_pooling``/``reset_for_seed``) fall back to a cold
+    build per call, as do specs marked ``cold_boot=True`` (handled by the
+    caller via :attr:`base`).
+    """
+
+    def __init__(self, base: SutFactory) -> None:
+        self.base = base
+        self._sut = None
+
+    def __call__(self, seed: int):
+        sut = self._sut
+        if sut is None:
+            sut = self.base(seed)
+            enable = getattr(sut, "enable_snapshot_pooling", None)
+            if enable is None:
+                return sut           # SUT cannot pool: plain cold boot
+            enable()
+            self._sut = sut
+            return sut
+        if sut.config.seed != seed:
+            sut.reset_for_seed(seed)
+        return sut
+
+
+def _factory_for_spec(spec, sut_factory: SutFactory) -> SutFactory:
+    """Honour a spec's cold-boot opt-out when the factory pools."""
+    if isinstance(sut_factory, PooledSutFactory) and spec.cold_boot:
+        return sut_factory.base
+    return sut_factory
+
+
 def _init_worker(sut_factory: SutFactory,
-                 classifier: Optional[OutcomeClassifier]) -> None:
+                 classifier: Optional[OutcomeClassifier],
+                 pooling: bool = False) -> None:
+    if pooling:
+        sut_factory = PooledSutFactory(sut_factory)
     _WORKER_STATE["sut_factory"] = sut_factory
     _WORKER_STATE["classifier"] = classifier or OutcomeClassifier()
 
 
 def _run_item(item: WorkItem, sut_factory: SutFactory,
               classifier: OutcomeClassifier) -> IndexedResult:
-    experiment = Experiment(item.spec, sut_factory=sut_factory,
+    experiment = Experiment(item.spec,
+                            sut_factory=_factory_for_spec(item.spec, sut_factory),
                             classifier=classifier)
     return item.index, experiment.run()
 
@@ -87,9 +134,12 @@ def _pool_context() -> multiprocessing.context.BaseContext:
 def execute_serial(items: Sequence[WorkItem],
                    sut_factory: SutFactory = default_sut_factory,
                    classifier: Optional[OutcomeClassifier] = None,
+                   pooling: bool = False,
                    ) -> Iterator[IndexedResult]:
     """Run every item in queue order in this process (the ``jobs=1`` backend)."""
     classifier = classifier or OutcomeClassifier()
+    if pooling:
+        sut_factory = PooledSutFactory(sut_factory)
     for item in items:
         yield _run_item(item, sut_factory, classifier)
 
@@ -99,6 +149,7 @@ def execute_pool(items: Sequence[WorkItem],
                  sut_factory: SutFactory = default_sut_factory,
                  classifier: Optional[OutcomeClassifier] = None,
                  chunk_size: Optional[int] = None,
+                 pooling: bool = False,
                  ) -> Iterator[IndexedResult]:
     """Run items across ``jobs`` worker processes, streaming completions.
 
@@ -115,7 +166,7 @@ def execute_pool(items: Sequence[WorkItem],
     """
     jobs = resolve_jobs(jobs)
     if jobs == 1 or len(items) <= 1:
-        yield from execute_serial(items, sut_factory, classifier)
+        yield from execute_serial(items, sut_factory, classifier, pooling)
         return
     size = chunk_size or 1
     shards = shard_for_pool(items, size)
@@ -123,7 +174,7 @@ def execute_pool(items: Sequence[WorkItem],
     pool = context.Pool(
         processes=min(jobs, len(shards)),
         initializer=_init_worker,
-        initargs=(sut_factory, classifier),
+        initargs=(sut_factory, classifier, pooling),
     )
     try:
         tasks = [shard.items for shard in shards]

@@ -22,6 +22,8 @@ A guest model does three things:
 from __future__ import annotations
 
 import abc
+import copy
+import dataclasses
 import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -51,9 +53,9 @@ class GuestState(enum.Enum):
     PANICKED = "panicked"
 
 
-@dataclass
+@dataclass(slots=True)
 class GuestEvent:
-    """One VM exit requested by the guest."""
+    """One VM exit requested by the guest (slotted: built every quantum)."""
 
     trap: TrapCode
     registers: Dict[Register, int] = field(default_factory=dict)
@@ -88,6 +90,8 @@ class GuestOS(abc.ABC):
         self.stack_use_probability = stack_use_probability
         self.link_return_probability = link_return_probability
         self.crash_reason: Optional[str] = None
+        #: Cached (cell, base, size, code_hi, stack_lo, stack_hi) draw bounds.
+        self._nominal_bounds: Optional[tuple] = None
 
     # -- lifecycle --------------------------------------------------------------------
 
@@ -161,18 +165,19 @@ class GuestOS(abc.ABC):
         if self.cell is None:
             return None
         memory_map = self.cell.memory_map
+        registers = context.registers
 
-        pc = context.read(Register.PC)
+        pc = registers[Register.PC]
         if not memory_map.is_executable(pc):
             self.stats.faults_after_resume += 1
             return GuestEvent(
                 trap=TrapCode.PREFETCH_ABORT,
-                registers=dict(context.registers),
+                registers=dict(registers),
                 fault_address=pc,
                 description=f"instruction fetch from unmapped 0x{pc:08x}",
             )
 
-        sp = context.read(Register.SP)
+        sp = registers[Register.SP]
         if not memory_map.is_mapped(sp, 4, AccessType.WRITE):
             if self.rng.random() < self.stack_use_probability:
                 self.stats.faults_after_resume += 1
@@ -186,7 +191,7 @@ class GuestOS(abc.ABC):
             # corrupted value is ever dereferenced.
             self._restore_stack_pointer(cpu_id)
 
-        lr = context.read(Register.LR)
+        lr = registers[Register.LR]
         if not memory_map.is_executable(lr):
             if self.rng.random() < self.link_return_probability:
                 self.stats.faults_after_resume += 1
@@ -212,24 +217,38 @@ class GuestOS(abc.ABC):
     # -- vCPU register housekeeping ---------------------------------------------------------------------
 
     def place_registers(self, cpu_id: int, values: Dict[Register, int]) -> None:
-        """Write workload register values onto the vCPU before trapping."""
+        """Write workload register values onto the vCPU before trapping.
+
+        Hot path: callers pass :class:`Register`-keyed dicts built by the
+        guest models, so the per-register validation of
+        :meth:`~repro.hw.registers.RegisterFile.write` is skipped.
+        """
         if self.board is None:
             return
-        registers = self.board.cpu(cpu_id).registers
-        for register, value in values.items():
-            registers.write(register, value)
+        self.board.cpus[cpu_id].registers.load_masked(values)
 
     def nominal_registers(self, cpu_id: int) -> Dict[Register, int]:
         """Plausible architectural state for this guest while it executes."""
-        if self.cell is None:
+        cell = self.cell
+        if cell is None:
             return {}
-        ram = self.cell.memory_map.ram_mappings()
-        if not ram:
-            return {}
-        base = ram[0].virt_start
-        size = ram[0].size
-        code_offset = int(self.rng.integers(0x100, max(0x200, size // 4))) & ~0x3
-        stack_offset = int(self.rng.integers(size // 2, size - 0x100)) & ~0x7
+        # The RAM geometry is static per cell; cache the draw bounds (this
+        # runs once per guest per simulation step).
+        cached = self._nominal_bounds
+        if cached is None or cached[0] is not cell:
+            ram = cell.memory_map.ram_mappings()
+            if not ram:
+                return {}
+            first = ram[0]
+            size = first.size
+            cached = self._nominal_bounds = (
+                cell, first.virt_start, size,
+                max(0x200, size // 4), size // 2, size - 0x100,
+            )
+        _, base, size, code_hi, stack_lo, stack_hi = cached
+        rng = self.rng
+        code_offset = int(rng.integers(0x100, code_hi)) & ~0x3
+        stack_offset = int(rng.integers(stack_lo, stack_hi)) & ~0x7
         return {
             Register.PC: base + code_offset,
             Register.SP: base + stack_offset,
@@ -240,3 +259,30 @@ class GuestOS(abc.ABC):
         """Mark the guest as crashed (stops producing output)."""
         self.state = GuestState.CRASHED
         self.crash_reason = reason
+
+    # -- snapshot / restore ------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Capture guest lifecycle state, counters, RNG stream and bindings.
+
+        Subclasses extend the returned dict via ``super().snapshot_state()``.
+        The RNG is captured as the bit-generator state so a restored guest
+        replays exactly the same random draws a cold-booted one would.
+        """
+        return {
+            "state": self.state,
+            "stats": dataclasses.replace(self.stats),
+            "cell": self.cell,
+            "board": self.board,
+            "rng": copy.deepcopy(self.rng.bit_generator.state),
+            "crash_reason": self.crash_reason,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a prior :meth:`snapshot_state` in place."""
+        self.state = state["state"]
+        self.stats = dataclasses.replace(state["stats"])
+        self.cell = state["cell"]
+        self.board = state["board"]
+        self.rng.bit_generator.state = copy.deepcopy(state["rng"])
+        self.crash_reason = state["crash_reason"]

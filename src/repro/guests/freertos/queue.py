@@ -74,3 +74,24 @@ class MessageQueue:
 
     def clear(self) -> None:
         self._items.clear()
+
+    def snapshot_state(self) -> dict:
+        """Capture queued items and counters."""
+        return {
+            "items": list(self._items),
+            "sequence": self._sequence,
+            "sent": self.sent,
+            "received": self.received,
+            "dropped": self.dropped,
+            "high_watermark": self.high_watermark,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a prior :meth:`snapshot_state` in place."""
+        self._items.clear()
+        self._items.extend(state["items"])
+        self._sequence = state["sequence"]
+        self.sent = state["sent"]
+        self.received = state["received"]
+        self.dropped = state["dropped"]
+        self.high_watermark = state["high_watermark"]

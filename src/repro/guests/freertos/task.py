@@ -37,9 +37,13 @@ class EffectKind(enum.Enum):
     COMPUTE = "compute"
 
 
-@dataclass
+@dataclass(slots=True)
 class TaskEffect:
-    """One effect produced by a task body."""
+    """One effect produced by a task body.
+
+    ``slots=True``: task bodies construct effects every release, making this
+    one of the most-allocated classes in the simulation.
+    """
 
     kind: EffectKind
     text: str = ""
@@ -102,6 +106,16 @@ class Task:
         self.state = TaskState.BLOCKED
         self.next_release = now + self.period
         return effects
+
+    def snapshot_state(self) -> tuple:
+        """Capture the scheduler-visible state of the task."""
+        return (self.state, self.next_release, self.run_count,
+                self.missed_deadlines, self.last_started)
+
+    def restore_state(self, state: tuple) -> None:
+        """Restore a prior :meth:`snapshot_state` in place."""
+        (self.state, self.next_release, self.run_count,
+         self.missed_deadlines, self.last_started) = state
 
     def suspend(self) -> None:
         self.state = TaskState.SUSPENDED

@@ -34,6 +34,7 @@ class LinuxGuest(GuestOS):
         self.log_period = log_period
         self.jiffies = 0
         self.syscalls_serviced = 0
+        self._jiffy_cache: Optional[tuple] = None
         self._last_log = 0.0
         self.kernel_panicked = False
         self.panic_message: Optional[str] = None
@@ -46,7 +47,13 @@ class LinuxGuest(GuestOS):
         if self.state is not GuestState.RUNNING:
             return []
         self.stats.steps += 1
-        self.jiffies += max(1, int(round(dt / 0.010)))
+        jiffy_cache = self._jiffy_cache
+        if jiffy_cache is not None and jiffy_cache[0] == dt:
+            self.jiffies += jiffy_cache[1]
+        else:
+            increment = max(1, int(round(dt / 0.010)))
+            self._jiffy_cache = (dt, increment)
+            self.jiffies += increment
         self.syscalls_serviced += int(self.rng.integers(5, 40))
 
         if now - self._last_log >= self.log_period:
@@ -85,3 +92,16 @@ class LinuxGuest(GuestOS):
 
     def healthy(self) -> bool:
         return self.state is GuestState.RUNNING and not self.kernel_panicked
+
+    # -- snapshot / restore ------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state["linux"] = (self.jiffies, self.syscalls_serviced, self._last_log,
+                          self.kernel_panicked, self.panic_message)
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        (self.jiffies, self.syscalls_serviced, self._last_log,
+         self.kernel_panicked, self.panic_message) = state["linux"]

@@ -119,6 +119,37 @@ class BananaPiBoard:
         self.uart.clear()
         self.gpio.clear_history()
 
+    # -- snapshot / restore --------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Capture the whole board: clock phase, CPUs, RAM pages, devices."""
+        return {
+            "now": self.clock.now,
+            "cpus": [cpu.snapshot_state() for cpu in self.cpus],
+            "memory": self.memory.snapshot_state(),
+            "gic": self.gic.snapshot_state(),
+            "uart": self.uart.snapshot_state(),
+            "gpio": self.gpio.snapshot_state(),
+            "timers": [timer.snapshot_state() for timer in self.timers],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a prior :meth:`snapshot_state` in place.
+
+        The clock is reset first (cancelling every scheduled event), then the
+        timers re-arm themselves from their snapshotted phase — the per-CPU
+        generic timers are the only components that schedule clock events.
+        """
+        self.clock.reset_to(state["now"])
+        for cpu, cpu_state in zip(self.cpus, state["cpus"]):
+            cpu.restore_state(cpu_state)
+        self.memory.restore_state(state["memory"])
+        self.gic.restore_state(state["gic"])
+        self.uart.restore_state(state["uart"])
+        self.gpio.restore_state(state["gpio"])
+        for timer, timer_state in zip(self.timers, state["timers"]):
+            timer.restore_state(timer_state)
+
     # -- helpers -----------------------------------------------------------------
 
     def cpu(self, cpu_id: int) -> CpuCore:

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class _ScheduledEvent:
     due: float
     sequence: int
@@ -36,6 +36,11 @@ class EventHandle:
     @property
     def cancelled(self) -> bool:
         return self._event.cancelled
+
+    @property
+    def due(self) -> float:
+        """Simulated time at which the event will next fire."""
+        return self._event.due
 
 
 class SimulationClock:
@@ -94,17 +99,21 @@ class SimulationClock:
             raise ValueError(f"duration must be non-negative, got {duration}")
         target = self._now + duration
         fired = 0
-        while self._events and self._events[0].due <= target:
-            event = heapq.heappop(self._events)
+        events = self._events
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        while events and events[0].due <= target:
+            event = heappop(events)
             if event.cancelled:
                 continue
-            self._now = max(self._now, event.due)
+            if event.due > self._now:
+                self._now = event.due
             event.callback(self._now)
             fired += 1
             if event.period is not None and not event.cancelled:
                 event.due = self._now + event.period
                 event.sequence = next(self._counter)
-                heapq.heappush(self._events, event)
+                heappush(events, event)
         self._now = target
         return fired
 
@@ -117,3 +126,12 @@ class SimulationClock:
         for event in self._events:
             event.cancelled = True
         self._events.clear()
+
+    def reset_to(self, now: float) -> None:
+        """Cancel every event and move the clock to ``now`` (snapshot restore).
+
+        Components that had events scheduled (the per-CPU timers) re-schedule
+        themselves from their own restored state afterwards.
+        """
+        self.cancel_all()
+        self._now = float(now)

@@ -121,7 +121,7 @@ class CpuCore:
         guest's registers on its per-CPU stack — the structure the paper's
         fault injector corrupts.
         """
-        if not self.is_executing:
+        if self.state is not CpuState.ONLINE:
             raise CpuStateError(
                 f"CPU {self.cpu_id} cannot trap in state {self.state.value}"
             )
@@ -140,15 +140,38 @@ class CpuCore:
         if self.state is not CpuState.ONLINE:
             # A handler may have parked or failed the CPU; nothing to restore.
             return
-        self.registers.load(
-            {reg: context.read(reg) for reg in context.corruptible_registers()}
-        )
+        # The context's register dict holds masked values for (at least) every
+        # corruptible register; bulk-load it instead of rebuilding a dict via
+        # 17 read() calls — this runs a few times per simulation step.
+        self.registers.load_context(context.registers)
         self.mode = CpuMode.SVC
 
     @property
     def trap_entries(self) -> int:
         """Total number of hypervisor entries taken by this core."""
         return self._trap_entries
+
+    # -- snapshot / restore -------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Capture architectural and availability state."""
+        return {
+            "registers": self.registers.snapshot(),
+            "mode": self.mode,
+            "state": self.state,
+            "assigned_cell": self.assigned_cell,
+            "park_history": list(self.park_history),
+            "trap_entries": self._trap_entries,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a prior :meth:`snapshot_state` in place."""
+        self.registers.load_context(state["registers"])
+        self.mode = state["mode"]
+        self.state = state["state"]
+        self.assigned_cell = state["assigned_cell"]
+        self.park_history = list(state["park_history"])
+        self._trap_entries = state["trap_entries"]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -80,6 +80,8 @@ class Gic:
         }
         self.cpu_interfaces = [GicCpuInterface(cpu, self) for cpu in range(num_cpus)]
         self.delivered: List[PendingInterrupt] = []
+        #: Flyweight cache of immutable (irq, cpu) pending instances.
+        self._interned_pending: Dict[Tuple[int, int], PendingInterrupt] = {}
 
     # -- configuration -----------------------------------------------------------
 
@@ -119,22 +121,36 @@ class Gic:
     # -- raising interrupts ---------------------------------------------------------
 
     def raise_irq(self, irq: int, *, cpu_id: Optional[int] = None) -> bool:
-        """Mark an interrupt pending. Returns whether it was accepted."""
-        self._validate_irq(irq)
+        """Mark an interrupt pending. Returns whether it was accepted.
+
+        Hot path (every timer tick goes through here): the per-``(irq, cpu)``
+        :class:`PendingInterrupt` instances are immutable, so they are
+        interned in a flyweight cache instead of re-constructed per tick.
+        """
+        if not 0 <= irq < MAX_IRQ:
+            raise InterruptError(f"IRQ id {irq} out of range [0, {MAX_IRQ})")
         if not self.enabled or irq not in self._enabled_irqs:
             return False
         if cpu_id is not None:
-            targets = [cpu_id]
+            targets = (cpu_id,)
         else:
             targets = sorted(self._targets.get(irq, {0}))
             targets = targets[:1] if targets else [0]
         accepted = False
+        interned = self._interned_pending
         for cpu in targets:
             if not 0 <= cpu < self.num_cpus:
                 raise InterruptError(f"IRQ {irq} targets invalid CPU {cpu}")
-            pending = PendingInterrupt(irq=irq, cpu_id=cpu)
-            if not any(p.irq == irq for p in self._pending[cpu]):
-                self._pending[cpu].append(pending)
+            pending = self._pending[cpu]
+            for entry in pending:
+                if entry.irq == irq:
+                    break
+            else:
+                key = (irq, cpu)
+                instance = interned.get(key)
+                if instance is None:
+                    instance = interned[key] = PendingInterrupt(irq=irq, cpu_id=cpu)
+                pending.append(instance)
             accepted = True
         return accepted
 
@@ -170,9 +186,11 @@ class Gic:
         pending = self._pending[cpu_id]
         if not pending:
             return None
-        pending.sort(key=lambda p: self._priorities.get(p.irq, 0xFF))
+        priorities = self._priorities
+        if len(pending) > 1:
+            pending.sort(key=lambda p: priorities.get(p.irq, 0xFF))
         for index, entry in enumerate(pending):
-            if self._priorities.get(entry.irq, 0xFF) < priority_mask:
+            if priorities.get(entry.irq, 0xFF) < priority_mask:
                 pending.pop(index)
                 self.delivered.append(entry)
                 return entry.irq
@@ -182,3 +200,32 @@ class Gic:
     def _validate_irq(irq: int) -> None:
         if not 0 <= irq < MAX_IRQ:
             raise InterruptError(f"IRQ id {irq} out of range [0, {MAX_IRQ})")
+
+    # -- snapshot / restore --------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Capture distributor configuration, pending queues, and interfaces."""
+        return {
+            "enabled": self.enabled,
+            "enabled_irqs": set(self._enabled_irqs),
+            "priorities": dict(self._priorities),
+            "targets": {irq: set(cpus) for irq, cpus in self._targets.items()},
+            "pending": {cpu: list(queue) for cpu, queue in self._pending.items()},
+            "delivered": list(self.delivered),
+            "interfaces": [
+                (i.priority_mask, i.enabled, i.active, i.acked_count, i.eoi_count)
+                for i in self.cpu_interfaces
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a prior :meth:`snapshot_state` in place."""
+        self.enabled = state["enabled"]
+        self._enabled_irqs = set(state["enabled_irqs"])
+        self._priorities = dict(state["priorities"])
+        self._targets = {irq: set(cpus) for irq, cpus in state["targets"].items()}
+        self._pending = {cpu: list(queue) for cpu, queue in state["pending"].items()}
+        self.delivered = list(state["delivered"])
+        for interface, snap in zip(self.cpu_interfaces, state["interfaces"]):
+            (interface.priority_mask, interface.enabled, interface.active,
+             interface.acked_count, interface.eoi_count) = snap

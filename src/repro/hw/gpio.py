@@ -74,6 +74,17 @@ class GpioController:
     def clear_history(self) -> None:
         self.events.clear()
 
+    # -- snapshot / restore ----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Capture pin levels and the change history."""
+        return {"levels": dict(self._levels), "events": list(self.events)}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a prior :meth:`snapshot_state` in place."""
+        self._levels = dict(state["levels"])
+        self.events = list(state["events"])
+
 
 class Led:
     """Onboard LED attached to one GPIO pin."""

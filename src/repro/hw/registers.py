@@ -89,6 +89,8 @@ ARCHITECTURAL_REGISTERS: Tuple[Register, ...] = (
     Register.CPSR,
 )
 
+_ARCH_REGISTER_SET = frozenset(ARCHITECTURAL_REGISTERS)
+
 _REGISTER_CLASSES: Dict[Register, RegisterClass] = {
     Register.SP: RegisterClass.STACK_POINTER,
     Register.LR: RegisterClass.LINK_REGISTER,
@@ -218,6 +220,26 @@ class RegisterFile:
         for reg, value in values.items():
             self.write(reg, value)
 
+    def load_context(self, values: Dict[Register, int]) -> None:
+        """Trusted bulk load used by the trap-exit hot path.
+
+        ``values`` must map :class:`Register` keys to already-masked 32-bit
+        ints (a :class:`TrapContext` register dict qualifies: every write into
+        a context is masked). Skips the per-register validation of
+        :meth:`load`, which dominates the simulation step cost otherwise.
+        """
+        self._values.update(values)
+
+    def load_masked(self, values: Dict[Register, int]) -> None:
+        """Trusted bulk write with 32-bit masking.
+
+        Like :meth:`load_context` but masks each value; callers must pass
+        :class:`Register` keys (the guest models placing workload state do).
+        """
+        target = self._values
+        for reg, value in values.items():
+            target[reg] = value & WORD_MASK
+
     def reset(self) -> None:
         """Reset all registers to their boot values."""
         for reg in self._values:
@@ -241,7 +263,7 @@ class RegisterFile:
         return f"RegisterFile({core})"
 
 
-@dataclass
+@dataclass(slots=True)
 class TrapContext:
     """Guest register state captured at hypervisor-entry.
 
@@ -258,8 +280,12 @@ class TrapContext:
     timestamp: float = 0.0
 
     def __post_init__(self) -> None:
-        for reg in ARCHITECTURAL_REGISTERS:
-            self.registers.setdefault(reg, 0)
+        # Contexts built from a full RegisterFile snapshot (the hot path)
+        # already hold every architectural register; only fill defaults for
+        # hand-built partial contexts.
+        if not _ARCH_REGISTER_SET <= self.registers.keys():
+            for reg in ARCHITECTURAL_REGISTERS:
+                self.registers.setdefault(reg, 0)
 
     def read(self, register: Register) -> int:
         if register is Register.HSR:

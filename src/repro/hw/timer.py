@@ -59,3 +59,27 @@ class GenericTimer:
     def _tick(self, now: float) -> None:
         self.fired += 1
         self._gic.raise_irq(self.irq, cpu_id=self.cpu_id)
+
+    # -- snapshot / restore ----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Capture run state including the phase of the next tick."""
+        return {
+            "running": self.running,
+            "period": self._period,
+            "due": self._handle.due if self.running else None,
+            "fired": self.fired,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Re-arm the timer from a snapshot (the clock must be restored first)."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+        self._period = state["period"]
+        self.fired = state["fired"]
+        if state["running"]:
+            delay = max(0.0, state["due"] - self._clock.now)
+            self._handle = self._clock.schedule(
+                delay, self._tick, period=state["period"]
+            )

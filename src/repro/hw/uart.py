@@ -6,12 +6,19 @@ non-root cell's availability is judged by whether its FreeRTOS tasks keep
 printing. This module models a 16550-style UART whose transmit side is
 captured into a timestamped, source-tagged record list so monitors can ask
 "did cell X produce any output in the last N seconds?".
+
+Captured records are indexed as they arrive — a per-source record list plus
+bisectable timestamp arrays — so the windowed queries the monitors issue
+(every ``evidence()`` call, and once per slice in the park/recover and
+repeated-lifecycle scenarios) cost ``O(log n + matches)`` instead of a full
+scan of the capture.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.hw.memory import MmioHandler
 
@@ -44,15 +51,30 @@ class Uart(MmioHandler):
         self.name = name
         self._clock = clock or (lambda: 0.0)
         self._records: List[UartRecord] = []
+        self._timestamps: List[float] = []
+        self._by_source: Dict[str, List[UartRecord]] = {}
+        self._source_timestamps: Dict[str, List[float]] = {}
         self._partial: dict[str, str] = {}
         self._mmio_source = "mmio"
 
     # -- direct (guest model) interface -----------------------------------------
 
+    def _append(self, record: UartRecord) -> None:
+        """Add a record to the capture and every derived index."""
+        source = record.source
+        self._records.append(record)
+        self._timestamps.append(record.timestamp)
+        per_source = self._by_source.get(source)
+        if per_source is None:
+            per_source = self._by_source[source] = []
+            self._source_timestamps[source] = []
+        per_source.append(record)
+        self._source_timestamps[source].append(record.timestamp)
+
     def write_line(self, source: str, text: str) -> UartRecord:
         """Append one full line of output attributed to ``source``."""
         record = UartRecord(timestamp=self._clock(), source=source, text=text)
-        self._records.append(record)
+        self._append(record)
         return record
 
     def write_char(self, source: str, char: str) -> None:
@@ -86,42 +108,37 @@ class Uart(MmioHandler):
 
     def lines(self, source: Optional[str] = None) -> List[str]:
         """All captured lines, optionally filtered by source."""
-        return [
-            record.text
-            for record in self._records
-            if source is None or record.source == source
-        ]
+        records = self._records if source is None else self._by_source.get(source, [])
+        return [record.text for record in records]
 
     def records_between(self, start: float, end: float,
                         source: Optional[str] = None) -> List[UartRecord]:
         """Records with ``start <= timestamp < end``."""
-        return [
-            record
-            for record in self._records
-            if start <= record.timestamp < end
-            and (source is None or record.source == source)
-        ]
+        if source is None:
+            records, timestamps = self._records, self._timestamps
+        else:
+            records = self._by_source.get(source, [])
+            timestamps = self._source_timestamps.get(source, [])
+        lo = bisect_left(timestamps, start)
+        hi = bisect_left(timestamps, end, lo)
+        return records[lo:hi]
 
     def output_count(self, source: Optional[str] = None) -> int:
         """Number of captured lines (optionally per source)."""
         if source is None:
             return len(self._records)
-        return sum(1 for record in self._records if record.source == source)
+        return len(self._by_source.get(source, []))
 
     def sources(self) -> Tuple[str, ...]:
         """Distinct sources that produced output, in first-seen order."""
-        seen: List[str] = []
-        for record in self._records:
-            if record.source not in seen:
-                seen.append(record.source)
-        return tuple(seen)
+        return tuple(self._by_source)
 
     def last_output_time(self, source: Optional[str] = None) -> Optional[float]:
         """Timestamp of the most recent line from ``source`` (or any source)."""
-        for record in reversed(self._records):
-            if source is None or record.source == source:
-                return record.timestamp
-        return None
+        records = self._records if source is None else self._by_source.get(source, [])
+        if not records:
+            return None
+        return records[-1].timestamp
 
     def silent_since(self, timestamp: float, source: str) -> bool:
         """Whether ``source`` has produced no output at or after ``timestamp``."""
@@ -131,6 +148,9 @@ class Uart(MmioHandler):
     def clear(self) -> None:
         """Drop all captured output (used between experiments)."""
         self._records.clear()
+        self._timestamps.clear()
+        self._by_source.clear()
+        self._source_timestamps.clear()
         self._partial.clear()
 
     def dump(self, sources: Optional[Iterable[str]] = None) -> str:
@@ -142,3 +162,21 @@ class Uart(MmioHandler):
                 continue
             lines.append(f"[{record.timestamp:10.4f}] {record.source}: {record.text}")
         return "\n".join(lines)
+
+    # -- snapshot / restore ----------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Capture the record log and pending partial lines."""
+        return {
+            "records": list(self._records),
+            "partial": dict(self._partial),
+            "mmio_source": self._mmio_source,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a prior :meth:`snapshot_state` in place (indexes rebuilt)."""
+        self.clear()
+        for record in state["records"]:
+            self._append(record)
+        self._partial = dict(state["partial"])
+        self._mmio_source = state["mmio_source"]

@@ -11,6 +11,7 @@ between this reported state and the actual behaviour of the cell's CPUs.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, TYPE_CHECKING
@@ -163,6 +164,32 @@ class Cell:
         if self.state.is_running:
             return bool(self.online_cpus)
         return not self.online_cpus
+
+    # -- snapshot / restore -------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Capture the cell's mutable state (config and memory map are static)."""
+        return {
+            "state": self.state,
+            "cpus": set(self.cpus),
+            "irqs": set(self.irqs),
+            "online_cpus": set(self.online_cpus),
+            "guest": self.guest,
+            "loaded_images": list(self.loaded_images),
+            "stats": dataclasses.replace(self.stats),
+            "state_history": list(self._state_history),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a prior :meth:`snapshot_state` in place."""
+        self.state = state["state"]
+        self.cpus = set(state["cpus"])
+        self.irqs = set(state["irqs"])
+        self.online_cpus = set(state["online_cpus"])
+        self.guest = state["guest"]
+        self.loaded_images = list(state["loaded_images"])
+        self.stats = dataclasses.replace(state["stats"])
+        self._state_history = list(state["state_history"])
 
     def describe(self) -> str:
         cpu_list = ",".join(str(cpu) for cpu in sorted(self.cpus)) or "-"

@@ -176,3 +176,19 @@ class JailhouseCli:
     def cell_list(self) -> CliResult:
         """``jailhouse cell list``"""
         return self._finish("cell list", True, self._hv.cell_list())
+
+    # -- snapshot / restore ------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Capture staged configs, created-cell ids and command history."""
+        return {
+            "staged": dict(self._staged_configs),
+            "created": dict(self._created_cells),
+            "history": list(self.history),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a prior :meth:`snapshot_state` in place."""
+        self._staged_configs = dict(state["staged"])
+        self._created_cells = dict(state["created"])
+        self.history = list(state["history"])

@@ -15,6 +15,7 @@ and implements the two failure reactions the paper observes:
 from __future__ import annotations
 
 import enum
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -129,6 +130,9 @@ class Hypervisor:
         self.cells: Dict[int, Cell] = {}
         self.root_cell: Optional[Cell] = None
         self.events: List[HypervisorEvent] = []
+        #: Timestamps parallel to ``events`` (non-decreasing: the simulation
+        #: clock never moves backwards), enabling bisected window queries.
+        self._event_times: List[float] = []
         self.ivshmem_channels: List[IvshmemChannel] = []
         self.panic_reason: Optional[str] = None
         self._next_cell_id = 0
@@ -500,11 +504,11 @@ class Hypervisor:
         result = self.handlers.arch_handle_trap(cpu, context)
         online = result is TrapResult.HANDLED and cpu_id in cell.online_cpus
         if not online and cpu_id not in cell.online_cpus:
+            now = self.board.clock.now
             if not any(
                 event.kind is HypervisorEventKind.CPU_ONLINE_FAILED
                 and event.cpu_id == cpu_id
-                and event.timestamp == self.board.clock.now
-                for event in self.events
+                for event in self.events_between(now, now)
             ):
                 self._record(
                     HypervisorEventKind.CPU_ONLINE_FAILED,
@@ -672,18 +676,26 @@ class Hypervisor:
 
     def _record(self, kind: HypervisorEventKind, *, cpu_id: Optional[int] = None,
                 cell_name: Optional[str] = None, detail: str = "") -> None:
+        timestamp = self.board.clock.now
         self.events.append(
             HypervisorEvent(
-                timestamp=self.board.clock.now,
+                timestamp=timestamp,
                 kind=kind,
                 cpu_id=cpu_id,
                 cell_name=cell_name,
                 detail=detail,
             )
         )
+        self._event_times.append(timestamp)
 
     def events_of_kind(self, kind: HypervisorEventKind) -> List[HypervisorEvent]:
         return [event for event in self.events if event.kind is kind]
+
+    def events_between(self, start: float, end: float) -> List[HypervisorEvent]:
+        """Events with ``start <= timestamp <= end`` (bisected, not scanned)."""
+        lo = bisect_left(self._event_times, start)
+        hi = bisect_right(self._event_times, end, lo)
+        return self.events[lo:hi]
 
     def cell_list(self) -> str:
         """Render the cell table like ``jailhouse cell list``."""
@@ -691,3 +703,50 @@ class Hypervisor:
         for cell in sorted(self.cells.values(), key=lambda c: c.cell_id):
             lines.append(cell.describe())
         return "\n".join(lines)
+
+    # -- snapshot / restore ---------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Capture the hypervisor: cell registry, event log, channels, staging.
+
+        Cells are captured by reference plus their mutable state, so a restore
+        keeps object identity — guests attached to a cell stay attached to the
+        *same* cell object. Cells created after the snapshot are dropped.
+        """
+        return {
+            "state": self.state,
+            "cells": [(cell_id, cell, cell.snapshot_state())
+                      for cell_id, cell in self.cells.items()],
+            "root_cell": self.root_cell,
+            "events": list(self.events),
+            "event_times": list(self._event_times),
+            "ivshmem": [(channel, channel.snapshot_state())
+                        for channel in self.ivshmem_channels],
+            "panic_reason": self.panic_reason,
+            "next_cell_id": self._next_cell_id,
+            "config_blobs": dict(self._config_blobs),
+            "next_config_address": self._next_config_address,
+            "system_config": self._system_config,
+            "handlers": self.handlers.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a prior :meth:`snapshot_state` in place."""
+        self.state = state["state"]
+        self.cells = {}
+        for cell_id, cell, cell_state in state["cells"]:
+            cell.restore_state(cell_state)
+            self.cells[cell_id] = cell
+        self.root_cell = state["root_cell"]
+        self.events = list(state["events"])
+        self._event_times = list(state["event_times"])
+        self.ivshmem_channels = []
+        for channel, channel_state in state["ivshmem"]:
+            channel.restore_state(channel_state)
+            self.ivshmem_channels.append(channel)
+        self.panic_reason = state["panic_reason"]
+        self._next_cell_id = state["next_cell_id"]
+        self._config_blobs = dict(state["config_blobs"])
+        self._next_config_address = state["next_config_address"]
+        self._system_config = state["system_config"]
+        self.handlers.restore_state(state["handlers"])

@@ -18,7 +18,12 @@ from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.hw.cpu import CpuCore, CpuState
 from repro.hw.gic import SPURIOUS_IRQ
-from repro.hw.registers import Register, TrapContext, is_valid_guest_cpsr
+from repro.hw.registers import (
+    CPSR_MODE_MASK,
+    GUEST_RETURNABLE_MODES,
+    Register,
+    TrapContext,
+)
 from repro.hypervisor.hypercalls import HypercallRequest, HypercallResult, ReturnCode
 from repro.hypervisor.traps import (
     ExceptionClass,
@@ -89,6 +94,26 @@ class ArchHandlers:
 
     def call_count(self, handler_name: str) -> int:
         return self.stats[handler_name].calls
+
+    # -- snapshot / restore ----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Capture per-handler counters and installed hooks."""
+        return {
+            "stats": {
+                name: (s.calls, s.handled, s.parked, s.panics)
+                for name, s in self.stats.items()
+            },
+            "hooks": {name: list(hooks) for name, hooks in self._hooks.items()},
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a prior :meth:`snapshot_state` in place."""
+        for name, (calls, handled, parked, panics) in state["stats"].items():
+            stats = self.stats[name]
+            stats.calls, stats.handled = calls, handled
+            stats.parked, stats.panics = parked, panics
+        self._hooks = {name: list(hooks) for name, hooks in state["hooks"].items()}
 
     def _enter(self, handler_name: str, cpu: CpuCore, context: TrapContext) -> None:
         self.stats[handler_name].calls += 1
@@ -253,8 +278,10 @@ class ArchHandlers:
         if cpu.state is CpuState.WAIT_FOR_POWERON:
             self.stats[handler_name].handled += 1
             return TrapResult.HANDLED
-        if not is_valid_guest_cpsr(context.cpsr):
-            reason = f"illegal exception return (cpsr=0x{context.cpsr:08x})"
+        # Inlined is_valid_guest_cpsr(context.cpsr): this runs once per trap.
+        cpsr = context.registers[Register.CPSR]
+        if cpsr & CPSR_MODE_MASK not in GUEST_RETURNABLE_MODES:
+            reason = f"illegal exception return (cpsr=0x{cpsr:08x})"
             cell = self._hv.cell_of_cpu(cpu.cpu_id)
             if (self._hv.contains_guest_faults and cell is not None
                     and not cell.is_root):

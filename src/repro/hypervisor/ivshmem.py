@@ -103,3 +103,23 @@ class IvshmemChannel:
         """Drop all pending messages (used when a peer cell is destroyed)."""
         for queue in self._queues.values():
             queue.clear()
+
+    # -- snapshot / restore ----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Capture queued messages, sequence counter and doorbell routing."""
+        return {
+            "queues": {peer: list(queue) for peer, queue in self._queues.items()},
+            "sequence": self._sequence,
+            "doorbell_targets": dict(self._doorbell_targets),
+            "dropped": self.dropped,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a prior :meth:`snapshot_state` in place."""
+        for peer, queue in self._queues.items():
+            queue.clear()
+            queue.extend(state["queues"].get(peer, ()))
+        self._sequence = state["sequence"]
+        self._doorbell_targets = dict(state["doorbell_targets"])
+        self.dropped = state["dropped"]

@@ -15,8 +15,11 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, IsolationViolationError
-from repro.hw.memory import AccessType, MemoryFlags
+from repro.hw.memory import ACCESS_BIT, AccessType, MemoryFlags
 from repro.hypervisor.config import MemoryAssignment
+
+_EXECUTE_BIT = int(MemoryFlags.EXECUTE)
+_IO_BIT = int(MemoryFlags.IO)
 
 
 @dataclass(frozen=True)
@@ -71,9 +74,23 @@ class CellMemoryMap:
                  mappings: Optional[Iterable[Stage2Mapping]] = None) -> None:
         self.cell_name = cell_name
         self._mappings: List[Stage2Mapping] = []
+        #: Flat ``(virt_start, virt_end, flags int, mapping)`` tuples used by
+        #: the per-access queries: tuple indexing and plain-int flag tests are
+        #: several times cheaper than dataclass attribute access plus
+        #: ``IntFlag.__and__``, and these run a handful of times per
+        #: simulation step (every resume-context validation).
+        self._spans: List[Tuple[int, int, int, Stage2Mapping]] = []
+        self._ram_cache: Optional[Tuple[Stage2Mapping, ...]] = None
         if mappings:
             for mapping in mappings:
                 self.add(mapping)
+
+    def _reindex(self) -> None:
+        self._mappings.sort(key=lambda m: m.virt_start)
+        self._spans = [
+            (m.virt_start, m.virt_end, int(m.flags), m) for m in self._mappings
+        ]
+        self._ram_cache: Optional[Tuple[Stage2Mapping, ...]] = None
 
     def add(self, mapping: Stage2Mapping) -> None:
         """Add a mapping; overlapping guest-physical ranges are rejected."""
@@ -85,13 +102,14 @@ class CellMemoryMap:
                     f"{existing.name!r} in guest-physical space"
                 )
         self._mappings.append(mapping)
-        self._mappings.sort(key=lambda m: m.virt_start)
+        self._reindex()
 
     def remove(self, name: str) -> None:
         mapping = self.find_by_name(name)
         if mapping is None:
             raise KeyError(f"no mapping named {name!r}")
         self._mappings.remove(mapping)
+        self._reindex()
 
     @property
     def mappings(self) -> Tuple[Stage2Mapping, ...]:
@@ -99,8 +117,9 @@ class CellMemoryMap:
 
     def find(self, address: int, size: int = 1) -> Optional[Stage2Mapping]:
         """Mapping containing the guest-physical window, or ``None``."""
-        for mapping in self._mappings:
-            if mapping.contains_virt(address, size):
+        end = address + size
+        for virt_start, virt_end, _flags, mapping in self._spans:
+            if virt_start <= address and end <= virt_end:
                 return mapping
         return None
 
@@ -113,12 +132,20 @@ class CellMemoryMap:
     def is_mapped(self, address: int, size: int = 1,
                   access: AccessType = AccessType.READ) -> bool:
         """Whether the cell may perform ``access`` on the given window."""
-        mapping = self.find(address, size)
-        return mapping is not None and mapping.permits(access)
+        bit = ACCESS_BIT[access]
+        end = address + size
+        for virt_start, virt_end, flags, _mapping in self._spans:
+            if virt_start <= address and end <= virt_end:
+                return bool(flags & bit)
+        return False
 
     def is_executable(self, address: int) -> bool:
         """Whether the cell may fetch instructions from ``address``."""
-        return self.is_mapped(address, 4, AccessType.EXECUTE)
+        end = address + 4
+        for virt_start, virt_end, flags, _mapping in self._spans:
+            if virt_start <= address and end <= virt_end:
+                return bool(flags & _EXECUTE_BIT)
+        return False
 
     def translate(self, address: int) -> int:
         """Translate a guest-physical address, raising on isolation violations."""
@@ -131,10 +158,15 @@ class CellMemoryMap:
 
     def io_mappings(self) -> Tuple[Stage2Mapping, ...]:
         """Mappings that describe MMIO windows."""
-        return tuple(m for m in self._mappings if m.flags & MemoryFlags.IO)
+        return tuple(m for m in self._mappings if int(m.flags) & _IO_BIT)
 
     def ram_mappings(self) -> Tuple[Stage2Mapping, ...]:
-        return tuple(m for m in self._mappings if not m.flags & MemoryFlags.IO)
+        cached = self._ram_cache
+        if cached is None:
+            cached = self._ram_cache = tuple(
+                m for m in self._mappings if not int(m.flags) & _IO_BIT
+            )
+        return cached
 
     def host_ranges(self) -> Tuple[Tuple[int, int, bool], ...]:
         """Host-physical ``(start, end, shared)`` tuples covered by this cell."""

@@ -73,10 +73,21 @@ _TRAP_TO_EC = {
 }
 
 
+#: Precomputed HSR base values (EC field already shifted) and the reverse EC
+#: lookup: both run once per trap dispatch, where the enum-constructor path
+#: is measurably slow.
+_HSR_FOR_TRAP = {
+    trap: int(ec) << HSR_EC_SHIFT for trap, ec in _TRAP_TO_EC.items()
+}
+_EC_BY_RAW = {int(ec): ec for ec in ExceptionClass}
+
+
 def encode_hsr(trap: TrapCode, iss: int = 0) -> int:
     """Build an HSR value for a trap of kind ``trap`` with syndrome ``iss``."""
-    ec = _TRAP_TO_EC.get(trap, ExceptionClass.UNKNOWN)
-    return (int(ec) << HSR_EC_SHIFT) | (iss & HSR_ISS_MASK)
+    base = _HSR_FOR_TRAP.get(trap)
+    if base is None:
+        base = int(ExceptionClass.UNKNOWN) << HSR_EC_SHIFT
+    return base | (iss & HSR_ISS_MASK)
 
 
 def exception_class(hsr: int) -> int:
@@ -86,11 +97,7 @@ def exception_class(hsr: int) -> int:
 
 def decode_exception_class(hsr: int) -> Optional[ExceptionClass]:
     """Return the :class:`ExceptionClass`, or ``None`` for unknown encodings."""
-    raw = exception_class(hsr)
-    try:
-        return ExceptionClass(raw)
-    except ValueError:
-        return None
+    return _EC_BY_RAW.get((hsr >> HSR_EC_SHIFT) & HSR_EC_MASK)
 
 
 def iss(hsr: int) -> int:

@@ -1,0 +1,81 @@
+"""Campaign-level parity of snapshot/reset pooling.
+
+A pooled campaign must be record-for-record identical to the cold-boot
+``jobs=1`` sequential execution — outcomes, injections, rationales,
+availability counts, everything the record schema captures.
+"""
+
+import dataclasses
+
+from repro.core.campaign import Campaign
+from repro.core.experiment import ExperimentSpec, Scenario, SingleBitFlip
+from repro.core.plan import TestPlan, paper_figure3_plan
+from repro.core.targets import InjectionTarget
+from repro.core.triggers import EveryNCalls
+from repro.engine import CampaignEngine
+from repro.engine.workers import PooledSutFactory
+
+
+def records_of(result):
+    return [dataclasses.asdict(record) for record in result.to_records()]
+
+
+class TestCampaignPoolingParity:
+    def test_pooled_campaign_matches_cold_boot_sequential(self):
+        plan = paper_figure3_plan(num_tests=4, duration=3.0)
+        cold = CampaignEngine(plan, jobs=1).run()
+        pooled = CampaignEngine(plan, jobs=1, pooling=True).run()
+        assert records_of(cold) == records_of(pooled)
+
+    def test_campaign_run_pooling_kwarg_matches(self):
+        plan = paper_figure3_plan(num_tests=3, duration=3.0)
+        cold = Campaign(plan).run()
+        pooled = Campaign(plan).run(pooling=True)
+        assert records_of(cold) == records_of(pooled)
+
+    def test_cold_boot_opt_out_spec_is_honoured(self):
+        specs = []
+        for seed in range(3):
+            specs.append(ExperimentSpec(
+                name=f"optout-{seed}",
+                target=InjectionTarget.nonroot_cpu_trap(),
+                trigger=EveryNCalls(80),
+                fault_model=SingleBitFlip(),
+                scenario=Scenario.STEADY_STATE,
+                duration=3.0,
+                seed=seed,
+                cold_boot=(seed == 1),      # middle spec opts out of pooling
+            ))
+        plan = TestPlan(name="optout", specs=specs)
+        cold = CampaignEngine(plan, jobs=1).run()
+        pooled = CampaignEngine(plan, jobs=1, pooling=True).run()
+        assert records_of(cold) == records_of(pooled)
+
+    def test_pooled_factory_falls_back_for_non_pooling_suts(self):
+        built = []
+
+        class PlainSut:
+            """No snapshot-pooling protocol: must cold-build every time."""
+
+            def __init__(self, seed):
+                self.seed = seed
+
+        def base_factory(seed):
+            sut = PlainSut(seed)
+            built.append(sut)
+            return sut
+
+        factory = PooledSutFactory(base_factory)
+        first = factory(1)
+        second = factory(1)
+        assert first is not second
+        assert len(built) == 2
+
+
+class TestPooledParallelParity:
+    def test_pooled_pool_matches_sequential(self):
+        """Each worker pools independently; results still match plan order."""
+        plan = paper_figure3_plan(num_tests=4, duration=2.0)
+        sequential = CampaignEngine(plan, jobs=1).run()
+        parallel_pooled = CampaignEngine(plan, jobs=2, pooling=True).run()
+        assert records_of(sequential) == records_of(parallel_pooled)

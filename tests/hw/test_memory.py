@@ -173,3 +173,79 @@ class TestMmio:
     def test_attach_to_unknown_region_is_rejected(self):
         with pytest.raises(KeyError):
             make_memory().attach_mmio("ghost", RecordingDevice())
+
+
+class TestRemoveRegionBoundaryPages:
+    """remove_region must only evict pages fully owned by the removed region."""
+
+    def test_shared_boundary_page_survives_neighbour_removal(self):
+        # Two regions meeting mid-page: removing one must not drop the
+        # neighbour's bytes on the shared page.
+        memory = PhysicalMemory([
+            MemoryRegion("low", 0x0000, 0x1800, MemoryFlags.RW),   # ends mid-page 1
+            MemoryRegion("high", 0x1800, 0x1800, MemoryFlags.RW),  # starts mid-page 1
+        ])
+        memory.write(0x17FC, 0x11111111)    # low's half of the shared page
+        memory.write(0x1800, 0x22222222)    # high's half of the shared page
+        memory.write(0x2000, 0x33333333)    # page fully owned by high
+        memory.remove_region("high")
+        # low's data on the shared page is intact...
+        assert memory.read(0x17FC) == 0x11111111
+        # ...high's slice of the shared page was zeroed, not merely unmapped.
+        memory.add_region(MemoryRegion("high2", 0x1800, 0x1800, MemoryFlags.RW))
+        assert memory.read(0x1800) == 0
+        # The fully-owned page was evicted outright.
+        assert memory.read(0x2000) == 0
+
+    def test_unshared_boundary_page_is_dropped(self):
+        memory = PhysicalMemory([
+            MemoryRegion("only", 0x0800, 0x1000, MemoryFlags.RW),
+        ])
+        memory.write(0x0800, 0xAB, 1)
+        assert memory.resident_pages() == 1
+        memory.remove_region("only")
+        assert memory.resident_pages() == 0
+
+    def test_fully_aligned_region_pages_are_dropped(self):
+        memory = PhysicalMemory([
+            MemoryRegion("aligned", 0x0000, 0x2000, MemoryFlags.RW),
+        ])
+        memory.write(0x0000, 0x1234)
+        memory.write(0x1000, 0x5678)
+        memory.remove_region("aligned")
+        assert memory.resident_pages() == 0
+
+
+class TestFetchFromMmio:
+    """Instruction fetch from a device window is a wild-jump symptom."""
+
+    def test_fetch_from_io_region_raises(self):
+        memory = PhysicalMemory([
+            MemoryRegion("xio", 0x0, 0x1000,
+                         MemoryFlags.RWX | MemoryFlags.IO),
+        ])
+        with pytest.raises(MemoryAccessError) as excinfo:
+            memory.fetch(0x10)
+        assert excinfo.value.kind == "execute"
+        assert "MMIO" in excinfo.value.reason
+
+    def test_fetch_from_io_region_with_handler_raises(self):
+        memory = PhysicalMemory([
+            MemoryRegion("xio", 0x0, 0x1000,
+                         MemoryFlags.RWX | MemoryFlags.IO),
+        ])
+        memory.attach_mmio("xio", RecordingDevice())
+        with pytest.raises(MemoryAccessError):
+            memory.fetch(0x10)
+        # Data reads still go through the handler.
+        assert memory.read(0x10) == 0x5A
+
+    def test_fetch_without_execute_permission_still_reports_permissions(self):
+        memory = make_memory()
+        with pytest.raises(MemoryAccessError):
+            memory.fetch(0x10000)   # io region is RW (not executable)
+
+    def test_fetch_from_ram_unaffected(self):
+        memory = make_memory()
+        memory.write(0x1000, 0xDEADBEEF)
+        assert memory.fetch(0x1000) == 0xDEADBEEF

@@ -1,0 +1,205 @@
+"""Property tests: the indexed/fast-path memory dispatch is observationally
+identical to the legacy generic path.
+
+The legacy oracle below re-implements the pre-optimization dispatch
+(linear region scan, generic chunked page walk, no caches) against its own
+page store. Randomised read/write/fetch sequences — including MMIO regions,
+unaligned and page-straddling accesses, and permission violations — must
+produce byte-identical results and identical exceptions on both
+implementations, and leave identical page contents behind.
+
+One deliberate divergence is encoded in the oracle: instruction fetch from an
+IO region now raises :class:`MemoryAccessError` (executing a device window is
+a wild-jump symptom the classifier must see) where the legacy code silently
+read the backing pages.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MemoryAccessError
+from repro.hw.memory import (
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    AccessType,
+    MemoryFlags,
+    MemoryRegion,
+    MmioHandler,
+    PhysicalMemory,
+)
+
+
+class RecordingMmio(MmioHandler):
+    """Deterministic MMIO device: reads echo the offset, writes are logged."""
+
+    def __init__(self) -> None:
+        self.writes = []
+
+    def mmio_read(self, offset: int, size: int) -> int:
+        return (offset * 2654435761) & ((1 << (8 * size)) - 1)
+
+    def mmio_write(self, offset: int, value: int, size: int) -> None:
+        self.writes.append((offset, value, size))
+
+
+class LegacyMemoryOracle:
+    """The pre-optimization dispatch semantics, reimplemented verbatim."""
+
+    def __init__(self, regions, mmio_names):
+        self.regions = list(regions)
+        self.pages = {}
+        self.handlers = {name: RecordingMmio() for name in mmio_names}
+
+    def _find(self, address):
+        for region in self.regions:
+            if region.contains(address):
+                return region
+        return None
+
+    def _check(self, address, size, access):
+        region = self._find(address)
+        if region is None or not region.contains(address, size):
+            raise MemoryAccessError(address, size, access.value,
+                                    "address not mapped")
+        if not region.permits(access):
+            raise MemoryAccessError(
+                address, size, access.value,
+                f"permission denied in region {region.name!r}",
+            )
+        return region
+
+    def _read_bytes(self, address, size):
+        out = bytearray(size)
+        offset = 0
+        while offset < size:
+            page_index = (address + offset) >> PAGE_SHIFT
+            page_offset = (address + offset) & (PAGE_SIZE - 1)
+            chunk = min(size - offset, PAGE_SIZE - page_offset)
+            page = self.pages.get(page_index)
+            if page is not None:
+                out[offset:offset + chunk] = page[page_offset:page_offset + chunk]
+            offset += chunk
+        return out
+
+    def _write_bytes(self, address, data):
+        offset = 0
+        size = len(data)
+        while offset < size:
+            page_index = (address + offset) >> PAGE_SHIFT
+            page_offset = (address + offset) & (PAGE_SIZE - 1)
+            chunk = min(size - offset, PAGE_SIZE - page_offset)
+            page = self.pages.setdefault(page_index, bytearray(PAGE_SIZE))
+            page[page_offset:page_offset + chunk] = data[offset:offset + chunk]
+            offset += chunk
+
+    def read(self, address, size):
+        region = self._check(address, size, AccessType.READ)
+        handler = self.handlers.get(region.name)
+        if handler is not None:
+            return handler.mmio_read(address - region.start, size)
+        return int.from_bytes(self._read_bytes(address, size), "little")
+
+    def write(self, address, value, size):
+        region = self._check(address, size, AccessType.WRITE)
+        handler = self.handlers.get(region.name)
+        if handler is not None:
+            handler.mmio_write(address - region.start, value, size)
+            return
+        self._write_bytes(address, int(value).to_bytes(size, "little", signed=False))
+
+    def fetch(self, address, size):
+        region = self._check(address, size, AccessType.EXECUTE)
+        # Intended semantics (shared with the new implementation): executing
+        # a device window is always a fault.
+        if region.name in self.handlers or region.flags & MemoryFlags.IO:
+            raise MemoryAccessError(
+                address, size, "execute",
+                f"instruction fetch from MMIO region {region.name!r}",
+            )
+        return int.from_bytes(self._read_bytes(address, size), "little")
+
+
+#: A memory map exercising every interesting case: RWX RAM whose bounds are
+#: *not* page aligned, a read-only window, an MMIO window smaller than a
+#: page, an executable+IO window (fetch must fault), and unmapped holes.
+REGIONS = [
+    MemoryRegion("ram", 0x0000, 0x2800, MemoryFlags.RWX),          # ends mid-page
+    MemoryRegion("rodata", 0x3000, 0x1000, MemoryFlags.READ),
+    MemoryRegion("mmio", 0x5000, 0x400, MemoryFlags.RW | MemoryFlags.IO),
+    MemoryRegion("xio", 0x6000, 0x1000,
+                 MemoryFlags.RWX | MemoryFlags.IO),
+]
+MMIO_NAMES = ["mmio", "xio"]
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["read", "write", "fetch"]),
+        st.integers(min_value=0, max_value=0x8000),       # includes holes
+        st.sampled_from([1, 2, 4, 8]),                    # 8 exercises chunking
+        st.integers(min_value=0, max_value=(1 << 64) - 1),
+    ),
+    min_size=1, max_size=80,
+)
+
+
+def build_fast():
+    memory = PhysicalMemory(REGIONS)
+    for name in MMIO_NAMES:
+        memory.attach_mmio(name, RecordingMmio())
+    return memory
+
+
+class TestFastPathParity:
+    @given(ops=operations)
+    @settings(max_examples=120, deadline=None)
+    def test_randomised_sequences_are_observationally_identical(self, ops):
+        fast = build_fast()
+        legacy = LegacyMemoryOracle(REGIONS, MMIO_NAMES)
+        for kind, address, size, value in ops:
+            value &= (1 << (8 * size)) - 1
+            fast_result = legacy_result = None
+            fast_error = legacy_error = None
+            try:
+                if kind == "read":
+                    fast_result = fast.read(address, size)
+                elif kind == "write":
+                    fast_result = fast.write(address, value, size)
+                else:
+                    fast_result = fast.fetch(address, size)
+            except MemoryAccessError as error:
+                fast_error = (error.address, error.size, error.kind)
+            try:
+                if kind == "read":
+                    legacy_result = legacy.read(address, size)
+                elif kind == "write":
+                    legacy_result = legacy.write(address, value, size)
+                else:
+                    legacy_result = legacy.fetch(address, size)
+            except MemoryAccessError as error:
+                legacy_error = (error.address, error.size, error.kind)
+            assert fast_result == legacy_result, (kind, hex(address), size)
+            assert fast_error == legacy_error, (kind, hex(address), size)
+        # The sparse stores must agree byte for byte wherever either wrote.
+        touched = set(fast._pages) | set(legacy.pages)
+        for page in touched:
+            fast_page = bytes(fast._pages.get(page, b"\x00" * PAGE_SIZE))
+            legacy_page = bytes(legacy.pages.get(page, b"\x00" * PAGE_SIZE))
+            assert fast_page == legacy_page, f"page 0x{page:x} diverged"
+        # MMIO traffic must have reached the handlers identically.
+        for name in MMIO_NAMES:
+            assert (fast._mmio_handlers[name].writes
+                    == legacy.handlers[name].writes)
+
+    @given(address=st.integers(min_value=0, max_value=0x27F0),
+           size=st.sampled_from([1, 2, 4]),
+           value=st.integers(min_value=0, max_value=(1 << 32) - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_page_cache_survives_region_churn(self, address, size, value):
+        """add/remove_region must invalidate the page-resolution cache."""
+        memory = build_fast()
+        value &= (1 << (8 * size)) - 1
+        memory.write(address, value, size)          # populates the page cache
+        assert memory.read(address, size) == value
+        memory.add_region(MemoryRegion("late", 0x9000, 0x1000, MemoryFlags.RW))
+        assert memory.read(address, size) == value  # cache rebuilt, same data
+        memory.remove_region("late")
+        assert memory.read(address, size) == value
