@@ -22,37 +22,36 @@ from __future__ import annotations
 
 import sys
 
-from repro.baselines import bao_sut_factory, no_isolation_sut_factory
 from repro.core.analysis import outcome_distribution
 from repro.core.campaign import Campaign
-from repro.core.experiment import default_sut_factory
-from repro.core.plan import IntensityLevel, build_intensity_plan
+from repro.core.config import CampaignConfig, PartRef
 from repro.core.report import format_comparison
-from repro.core.targets import InjectionTarget
 from repro.safety.metrics import compare_metrics, compute_isolation_metrics
 
-
-SYSTEMS = {
-    "jailhouse": default_sut_factory,
-    "bao-like": bao_sut_factory,
-    "no-isolation": no_isolation_sut_factory,
-}
+#: The SUT variants, by registry name (see ``repro-fi list``); a
+#: ``Campaign`` accepts the key directly and resolves it for us.
+SYSTEMS = ("jailhouse", "bao-like", "no-isolation")
 
 
 def main(num_tests: int = 15) -> None:
     distributions = {}
     metrics = {}
-    for name, factory in SYSTEMS.items():
-        plan = build_intensity_plan(
-            IntensityLevel.MEDIUM,
-            InjectionTarget.nonroot_cpu_trap(),
-            num_tests=num_tests,
+    for name in SYSTEMS:
+        # One declarative config per system: identical injection load, only
+        # the SUT differs, so outcome deltas are attributable to containment.
+        config = CampaignConfig(
+            name=f"comparison-{name}",
+            targets=[PartRef("nonroot-trap")],
+            scenarios=["steady-state"],
+            intensity="medium",
+            tests=num_tests,
             duration=30.0,
             base_seed=4000,
-            name=f"comparison-{name}",
+            sut=PartRef(name),
         )
+        plan = config.compile()
         print(f"running {len(plan)} tests against {name!r} ...")
-        result = Campaign(plan, sut_factory=factory).run()
+        result = Campaign(plan, sut_factory=config.sut_factory()).run()
         records = result.to_records()
         distributions[name] = outcome_distribution(records)
         metrics[name] = compute_isolation_metrics(records)

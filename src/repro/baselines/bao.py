@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.core.registry import SUTS
 from repro.core.sut import JailhouseSUT, SutConfig, SystemUnderTest
 from repro.hw.board import BananaPiBoard, BoardConfig
 from repro.hypervisor.cli import JailhouseCli
@@ -39,3 +40,9 @@ class BaoLikeSUT(JailhouseSUT):
 def bao_sut_factory(seed: int) -> SystemUnderTest:
     """SUT factory for campaigns against the Bao-like baseline."""
     return BaoLikeSUT(SutConfig(seed=seed))
+
+
+@SUTS.register("bao-like", "bao")
+def build_bao_like_sut(seed: int = 0, **config_params) -> BaoLikeSUT:
+    """Bao-like containment baseline: guest faults kill only the offending cell."""
+    return BaoLikeSUT(SutConfig(seed=seed, **config_params))

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.core.registry import SUTS
 from repro.core.sut import JailhouseSUT, SutConfig, SystemUnderTest
 from repro.hypervisor.cli import JailhouseCli
 from repro.hypervisor.core import Hypervisor
@@ -34,3 +35,9 @@ class NoIsolationSUT(JailhouseSUT):
 def no_isolation_sut_factory(seed: int) -> SystemUnderTest:
     """SUT factory for campaigns against the no-isolation baseline."""
     return NoIsolationSUT(SutConfig(seed=seed))
+
+
+@SUTS.register("no-isolation", "nohv")
+def build_no_isolation_sut(seed: int = 0, **config_params) -> NoIsolationSUT:
+    """Consolidation without partitioning: any unhandled fault takes it all down."""
+    return NoIsolationSUT(SutConfig(seed=seed, **config_params))

@@ -6,6 +6,10 @@ reproduction without writing Python:
 * ``repro-fi golden``    — profile a fault-free run (handler call counts, output rates);
 * ``repro-fi fig3``      — run the paper's medium-intensity Figure-3 campaign;
 * ``repro-fi campaign``  — run a custom campaign (target, intensity, scenario, size);
+* ``repro-fi run``       — run a declarative campaign from a TOML/JSON config
+  file or a built-in catalog entry (``repro-fi run fig3``);
+* ``repro-fi list``      — show every registered part (fault models, triggers,
+  targets, scenarios, SUTs, classifiers) and catalog campaign;
 * ``repro-fi report``    — re-render reports from a saved ``.jsonl`` record file;
 * ``repro-fi seooc``     — build the ISO 26262 SEooC evidence report from one or
   more saved campaigns.
@@ -18,7 +22,10 @@ Campaign subcommands execute through the parallel engine: ``--jobs N`` fans
 the plan out over N worker processes (``--jobs 0`` = one per CPU) with
 results identical to a sequential run, and ``--resume PATH`` streams records
 to an append-only checkpoint at PATH, skipping specs already recorded there —
-a killed campaign picks up where it left off.
+a killed campaign picks up where it left off. ``--sut`` selects the system
+under test by registry name (``jailhouse``, ``bao-like``, ``no-isolation``,
+or any plugin-registered variant); spec identities do not depend on the SUT,
+so the same checkpoint drives campaigns against every variant.
 """
 
 from __future__ import annotations
@@ -29,6 +36,12 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.core.campaign import Campaign
+from repro.core.config import (
+    catalog_config,
+    catalog_describe,
+    catalog_keys,
+    load_campaign_config,
+)
 from repro.core.experiment import Scenario
 from repro.core.plan import (
     IntensityLevel,
@@ -38,6 +51,17 @@ from repro.core.plan import (
     paper_high_intensity_root_plan,
 )
 from repro.core.recording import RecordStore
+from repro.core.registry import (
+    CLASSIFIERS,
+    FAULT_MODELS,
+    GUESTS,
+    RegistrySutFactory,
+    SCENARIOS,
+    SUTS,
+    TARGETS,
+    TRIGGERS,
+    WORKLOADS,
+)
 from repro.core.report import (
     format_campaign_summary,
     format_distribution,
@@ -47,6 +71,7 @@ from repro.core.report import (
 from repro.core.analysis import outcome_distribution
 from repro.core.targets import InjectionTarget
 from repro.engine import CampaignEngine
+from repro.errors import CampaignConfigError, RegistryError
 from repro.hypervisor.handlers import ALL_HANDLERS
 from repro.safety.evidence import build_evidence_report
 
@@ -73,11 +98,23 @@ def _progress(snapshot, result) -> None:
     print(f"  {snapshot.format_line()}  {result.outcome.value}")
 
 
-def _run_plan(plan, args):
+def _sut_factory(args, default: "str | RegistrySutFactory" = "jailhouse"):
+    """Resolve the ``--sut`` flag (a registry key) to a picklable factory."""
+    key = getattr(args, "sut", None)
+    if key is not None:
+        return RegistrySutFactory(key)
+    if isinstance(default, str):
+        return RegistrySutFactory(default)
+    return default
+
+
+def _run_plan(plan, args, sut_factory=None, classifier=None):
     """Execute a plan through the engine with the shared campaign flags."""
     engine = CampaignEngine(
         plan,
         jobs=args.jobs,
+        sut_factory=sut_factory if sut_factory is not None else _sut_factory(args),
+        classifier=classifier,
         checkpoint_path=args.resume,
         resume=args.resume is not None,
         pooling=getattr(args, "pooling", False),
@@ -88,7 +125,8 @@ def _run_plan(plan, args):
 
 def cmd_golden(args: argparse.Namespace) -> int:
     plan = paper_figure3_plan(num_tests=1, duration=1.0)
-    golden = Campaign(plan).golden_run(duration=args.duration, seed=args.seed)
+    golden = Campaign(plan, sut_factory=_sut_factory(args)).golden_run(
+        duration=args.duration, seed=args.seed)
     print("golden (fault-free) run")
     print(f"  duration          : {golden.duration:.0f} s")
     print(f"  outcome           : {golden.outcome.value}")
@@ -107,11 +145,10 @@ def cmd_fig3(args: argparse.Namespace) -> int:
     return 0
 
 
-_SCENARIOS = {
-    "steady-state": Scenario.STEADY_STATE,
-    "lifecycle": Scenario.LIFECYCLE_UNDER_FAULT,
-    "repeated-lifecycle": Scenario.REPEATED_LIFECYCLE,
-}
+# Scenario choices come from the registry, so every registered scenario —
+# including ``park-and-recover``, which the hand-written dict this replaced
+# had left unreachable — is selectable from the CLI.
+_SCENARIOS = {key: SCENARIOS.build(key) for key in SCENARIOS.keys()}
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
@@ -128,6 +165,64 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     result = _run_plan(plan, args)
     print(format_campaign_summary(result))
     _save_records(result, args.output)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run a declarative campaign from a config file or catalog entry."""
+    if Path(args.config).exists():
+        config = load_campaign_config(args.config)
+    else:
+        try:
+            config = catalog_config(args.config)
+        except CampaignConfigError as exc:
+            raise CampaignConfigError(
+                f"{args.config!r} is neither a config file nor a catalog "
+                f"entry. {exc}"
+            ) from None
+    if args.tests is not None:
+        # For a random-sampling config the experiment count is sample_size,
+        # not tests-per-grid-point; override whichever one sizes the run.
+        if config.sampling == "random":
+            config.sample_size = args.tests
+        else:
+            config.tests = args.tests
+    if args.duration is not None:
+        config.duration = args.duration
+    if args.seed is not None:
+        config.base_seed = args.seed
+    plan = config.compile()
+    if args.verbose:
+        print(config.describe())
+        print(plan.describe())
+    result = _run_plan(
+        plan, args,
+        sut_factory=config.sut_factory(override=args.sut),
+        classifier=config.build_classifier(),
+    )
+    print(format_campaign_summary(result))
+    _save_records(result, args.output)
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    """Show every registered campaign part and catalog entry."""
+    sections = [
+        ("catalog campaigns (repro-fi run <name>)", catalog_describe()),
+        ("SUTs (--sut / [campaign] sut)", SUTS.describe()),
+        ("scenarios", SCENARIOS.describe()),
+        ("injection targets", TARGETS.describe()),
+        ("triggers", TRIGGERS.describe()),
+        ("fault models", FAULT_MODELS.describe()),
+        ("outcome classifiers", CLASSIFIERS.describe()),
+        ("guests", GUESTS.describe()),
+        ("workloads", WORKLOADS.describe()),
+    ]
+    for title, lines in sections:
+        print(f"{title}:")
+        for line in lines:
+            print(f"  {line}")
+        print()
     return 0
 
 
@@ -168,26 +263,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_sut_flag(command: argparse.ArgumentParser) -> None:
+        command.add_argument("--sut", metavar="KEY",
+                            help="system under test, by registry name "
+                                 "(jailhouse, bao-like, no-isolation, ...); "
+                                 "see 'repro-fi list'")
+
+    def add_engine_flags(command: argparse.ArgumentParser) -> None:
+        command.add_argument("--output", help="write records to this .jsonl file")
+        command.add_argument("--jobs", type=int, default=1,
+                             help="worker processes (0 = one per CPU)")
+        command.add_argument("--resume", metavar="PATH",
+                             help="checkpoint records to PATH and skip specs "
+                                  "already recorded there")
+        command.add_argument("--pooling", action="store_true",
+                             help="reuse one booted SUT per worker via "
+                                  "snapshot/restore instead of cold-booting "
+                                  "every experiment (outcomes are identical)")
+        command.add_argument("--verbose", action="store_true")
+
     golden = sub.add_parser("golden", help="profile a fault-free run")
     golden.add_argument("--duration", type=float, default=20.0)
     golden.add_argument("--seed", type=int, default=999_983)
+    add_sut_flag(golden)
     golden.set_defaults(func=cmd_golden)
 
     fig3 = sub.add_parser("fig3", help="run the paper's Figure-3 campaign")
     fig3.add_argument("--tests", type=int, default=40)
     fig3.add_argument("--duration", type=float, default=60.0)
     fig3.add_argument("--seed", type=int, default=0)
-    fig3.add_argument("--output", help="write records to this .jsonl file")
-    fig3.add_argument("--jobs", type=int, default=1,
-                      help="worker processes (0 = one per CPU)")
-    fig3.add_argument("--resume", metavar="PATH",
-                      help="checkpoint records to PATH and skip specs "
-                           "already recorded there")
-    fig3.add_argument("--pooling", action="store_true",
-                      help="reuse one booted SUT per worker via "
-                           "snapshot/restore instead of cold-booting every "
-                           "experiment (outcomes are identical)")
-    fig3.add_argument("--verbose", action="store_true")
+    add_sut_flag(fig3)
+    add_engine_flags(fig3)
     fig3.set_defaults(func=cmd_fig3)
 
     campaign = sub.add_parser("campaign", help="run a custom campaign")
@@ -204,18 +310,31 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--duration", type=float, default=30.0)
     campaign.add_argument("--seed", type=int, default=0)
     campaign.add_argument("--name")
-    campaign.add_argument("--output", help="write records to this .jsonl file")
-    campaign.add_argument("--jobs", type=int, default=1,
-                          help="worker processes (0 = one per CPU)")
-    campaign.add_argument("--resume", metavar="PATH",
-                          help="checkpoint records to PATH and skip specs "
-                               "already recorded there")
-    campaign.add_argument("--pooling", action="store_true",
-                          help="reuse one booted SUT per worker via "
-                               "snapshot/restore instead of cold-booting "
-                               "every experiment (outcomes are identical)")
-    campaign.add_argument("--verbose", action="store_true")
+    add_sut_flag(campaign)
+    add_engine_flags(campaign)
     campaign.set_defaults(func=cmd_campaign)
+
+    run = sub.add_parser(
+        "run", help="run a declarative campaign from a TOML/JSON config "
+                    "file or a catalog entry")
+    run.add_argument("config",
+                     help="path to a campaign config (.toml/.json) or a "
+                          "catalog name (see 'repro-fi list')")
+    run.add_argument("--tests", type=int,
+                     help="override the config's per-combination test count "
+                          "(for random-sampling configs: the sample size)")
+    run.add_argument("--duration", type=float,
+                     help="override the config's per-test duration")
+    run.add_argument("--seed", type=int,
+                     help="override the config's base seed")
+    add_sut_flag(run)
+    add_engine_flags(run)
+    run.set_defaults(func=cmd_run)
+
+    listing = sub.add_parser(
+        "list", help="show registered fault models, triggers, targets, "
+                     "scenarios, SUTs, and catalog campaigns")
+    listing.set_defaults(func=cmd_list)
 
     report = sub.add_parser("report", help="render reports from saved records")
     report.add_argument("records", help="path to a .jsonl record file")
@@ -236,7 +355,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "campaign" and args.cpu is not None and args.cpu < 0:
         args.cpu = None
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (RegistryError, CampaignConfigError) as exc:
+        # Unknown keys and malformed configs are user input errors: report
+        # them (with the registry's did-you-mean suggestions) instead of a
+        # traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests of main()

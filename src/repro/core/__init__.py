@@ -9,6 +9,13 @@ and aggregates results (:mod:`campaign`, :mod:`analysis`, :mod:`report`).
 """
 
 from repro.core.campaign import Campaign, CampaignResult
+from repro.core.config import (
+    CampaignConfig,
+    PartRef,
+    catalog_config,
+    catalog_keys,
+    load_campaign_config,
+)
 from repro.core.experiment import Experiment, ExperimentResult, ExperimentSpec, Scenario
 from repro.core.faultmodels import (
     AppliedFault,
@@ -22,6 +29,19 @@ from repro.core.monitors import AvailabilityMonitor, AvailabilityReport
 from repro.core.outcomes import Outcome, OutcomeClassifier, OutcomeEvidence
 from repro.core.plan import IntensityLevel, TestPlan, build_intensity_plan
 from repro.core.recording import ExperimentRecord, RecordStore
+from repro.core.registry import (
+    CLASSIFIERS,
+    FAULT_MODELS,
+    GUESTS,
+    Registry,
+    RegistrySutFactory,
+    SCENARIOS,
+    SUTS,
+    TARGETS,
+    TRIGGERS,
+    WORKLOADS,
+    resolve_sut_factory,
+)
 from repro.core.sut import JailhouseSUT, SutConfig, SystemUnderTest
 from repro.core.targets import InjectionTarget
 from repro.core.triggers import EveryNCalls, OneShotAtCall, ProbabilisticTrigger, Trigger
@@ -30,9 +50,25 @@ __all__ = [
     "AppliedFault",
     "AvailabilityMonitor",
     "AvailabilityReport",
+    "CLASSIFIERS",
     "Campaign",
+    "CampaignConfig",
     "CampaignResult",
     "EveryNCalls",
+    "FAULT_MODELS",
+    "GUESTS",
+    "PartRef",
+    "Registry",
+    "RegistrySutFactory",
+    "SCENARIOS",
+    "SUTS",
+    "TARGETS",
+    "TRIGGERS",
+    "WORKLOADS",
+    "catalog_config",
+    "catalog_keys",
+    "load_campaign_config",
+    "resolve_sut_factory",
     "Experiment",
     "ExperimentRecord",
     "ExperimentResult",

@@ -24,6 +24,7 @@ from repro.core.experiment import (
 from repro.core.outcomes import Outcome, OutcomeClassifier
 from repro.core.plan import TestPlan
 from repro.core.recording import ExperimentRecord, RecordStore
+from repro.core.registry import resolve_sut_factory
 from repro.errors import CampaignError
 
 
@@ -93,11 +94,13 @@ class Campaign:
     """Runs a test plan and aggregates its results."""
 
     def __init__(self, plan: TestPlan,
-                 sut_factory: SutFactory = default_sut_factory,
+                 sut_factory: "SutFactory | str" = default_sut_factory,
                  classifier: Optional[OutcomeClassifier] = None) -> None:
         plan.validate()
         self.plan = plan
-        self.sut_factory = sut_factory
+        # Accepts a registry key ("jailhouse", "bao-like", ...) as well as a
+        # factory callable; keys resolve to picklable factories.
+        self.sut_factory = resolve_sut_factory(sut_factory)
         self.classifier = classifier or OutcomeClassifier()
 
     # -- golden run --------------------------------------------------------------------------

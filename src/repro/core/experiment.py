@@ -31,6 +31,7 @@ from repro.core.outcomes import (
     OutcomeClassifier,
     OutcomeEvidence,
 )
+from repro.core.registry import SCENARIOS
 from repro.core.sut import JailhouseSUT, SutConfig, SystemUnderTest
 from repro.core.targets import InjectionTarget
 from repro.core.triggers import EveryNCalls, Trigger
@@ -85,6 +86,30 @@ class Scenario(enum.Enum):
     LIFECYCLE_UNDER_FAULT = "lifecycle_under_fault"
     REPEATED_LIFECYCLE = "repeated_lifecycle"
     PARK_AND_RECOVER = "park_and_recover"
+
+
+# Config files and the CLI select scenarios by key; each enum value string is
+# accepted as an alias so saved records (which store the value) round-trip.
+SCENARIOS.add_value(
+    "steady-state", Scenario.STEADY_STATE,
+    aliases=(Scenario.STEADY_STATE.value,),
+    description="Figure-3 setup: bring the deployment up fault-free, then "
+                "inject while the workload runs.")
+SCENARIOS.add_value(
+    "lifecycle", Scenario.LIFECYCLE_UNDER_FAULT,
+    aliases=(Scenario.LIFECYCLE_UNDER_FAULT.value,),
+    description="arm the injector before the non-root cell is created, "
+                "exposing the cell-management path.")
+SCENARIOS.add_value(
+    "repeated-lifecycle", Scenario.REPEATED_LIFECYCLE,
+    aliases=(Scenario.REPEATED_LIFECYCLE.value,),
+    description="cycle cell create/start/destroy under injection for the "
+                "whole test.")
+SCENARIOS.add_value(
+    "park-and-recover", Scenario.PARK_AND_RECOVER,
+    aliases=(Scenario.PARK_AND_RECOVER.value,),
+    description="provoke a CPU park, destroy the cell, verify its resources "
+                "return to the root cell.")
 
 
 @dataclass

@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.registry import FAULT_MODELS
 from repro.errors import InjectionError
 from repro.hw.registers import (
     ARCHITECTURAL_REGISTERS,
@@ -199,3 +200,61 @@ class StuckAtFault(FaultModel):
         bit = diff.bit_length() - 1 if diff else 0
         return [AppliedFault(register=register, bit=bit, value_before=before,
                              value_after=after)]
+
+
+# -- registry builders ----------------------------------------------------------------
+#
+# Config files select fault models by key; these builders coerce the
+# config-friendly parameter spellings (register names and class names as
+# strings) into the enum types the constructors take.
+
+def _coerce_registers(registers: Optional[Sequence["str | Register"]]
+                      ) -> Optional[Tuple[Register, ...]]:
+    if registers is None:
+        return None
+    return tuple(Register(entry) for entry in registers)
+
+
+@FAULT_MODELS.register("single-bit-flip")
+def build_single_bit_flip(registers: Optional[Sequence[str]] = None) -> SingleBitFlip:
+    """Flip one random bit of one random register (paper's medium intensity)."""
+    return SingleBitFlip(registers=_coerce_registers(registers))
+
+
+@FAULT_MODELS.register("multi-register-bit-flip")
+def build_multi_register_bit_flip(
+        count: int = 4,
+        registers: Optional[Sequence[str]] = None) -> MultiRegisterBitFlip:
+    """Flip one bit in each of ``count`` registers (paper's high intensity)."""
+    return MultiRegisterBitFlip(count=count,
+                                registers=_coerce_registers(registers))
+
+
+@FAULT_MODELS.register("register-class-bit-flip")
+def build_register_class_bit_flip(
+        target_class: "str | RegisterClass") -> RegisterClassBitFlip:
+    """Flip one bit within one register class (``sp``, ``pc``, ``gpr``, ...)."""
+    if not isinstance(target_class, RegisterClass):
+        try:
+            target_class = RegisterClass(target_class)
+        except ValueError:
+            choices = ", ".join(entry.value for entry in RegisterClass)
+            raise InjectionError(
+                f"unknown register class {target_class!r}; choices: {choices}"
+            ) from None
+    return RegisterClassBitFlip(target_class)
+
+
+@FAULT_MODELS.register("multi-bit-burst")
+def build_multi_bit_burst(burst_length: int = 2,
+                          registers: Optional[Sequence[str]] = None) -> MultiBitBurst:
+    """Flip ``burst_length`` adjacent bits of one register."""
+    return MultiBitBurst(burst_length=burst_length,
+                         registers=_coerce_registers(registers))
+
+
+@FAULT_MODELS.register("stuck-at")
+def build_stuck_at(stuck_value: int = 0,
+                   registers: Optional[Sequence[str]] = None) -> StuckAtFault:
+    """Force one register to all-zeros (``stuck_value=0``) or all-ones (``1``)."""
+    return StuckAtFault(stuck_value, registers=_coerce_registers(registers))

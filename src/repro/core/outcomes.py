@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.monitors import AvailabilityReport, HypervisorObservation
+from repro.core.registry import CLASSIFIERS
 from repro.hypervisor.traps import UNHANDLED_TRAP_ERROR
 
 
@@ -115,6 +116,7 @@ class ClassifiedOutcome:
     rationale: str
 
 
+@CLASSIFIERS.register("default", "paper")
 class OutcomeClassifier:
     """Derives a single outcome per experiment from the evidence."""
 

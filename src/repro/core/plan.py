@@ -165,43 +165,31 @@ def build_custom_plan(
     return plan
 
 
+# The paper plans are catalog entries compiled through the declarative layer
+# (see the catalog in :mod:`repro.core.config`). Spec identities are
+# byte-identical to the hand-written builders these functions used to inline,
+# so checkpoints recorded before the refactor still resume. Imports are local
+# because config builds on TestPlan/IntensityLevel from this module.
+
 def paper_figure3_plan(*, num_tests: int = 200, duration: float = PAPER_TEST_DURATION,
                        base_seed: int = 0) -> TestPlan:
     """The Figure-3 campaign: medium intensity on the non-root cell's trap handler."""
-    return build_intensity_plan(
-        IntensityLevel.MEDIUM,
-        InjectionTarget.nonroot_cpu_trap(),
-        num_tests=num_tests,
-        scenario=Scenario.STEADY_STATE,
-        duration=duration,
-        base_seed=base_seed,
-        name="fig3-medium-nonroot-trap",
-    )
+    from repro.core.config import catalog_config
+    return catalog_config("fig3", num_tests=num_tests, duration=duration,
+                          base_seed=base_seed).compile()
 
 
 def paper_high_intensity_root_plan(*, num_tests: int = 60, duration: float = 20.0,
                                    base_seed: int = 1000) -> TestPlan:
     """The high-intensity root-cell campaign (invalid-arguments finding)."""
-    return build_intensity_plan(
-        IntensityLevel.HIGH,
-        InjectionTarget.hvc_and_trap(cpus={0}),
-        num_tests=num_tests,
-        scenario=Scenario.REPEATED_LIFECYCLE,
-        duration=duration,
-        base_seed=base_seed,
-        name="high-root-hvc-trap",
-    )
+    from repro.core.config import catalog_config
+    return catalog_config("high-root", num_tests=num_tests, duration=duration,
+                          base_seed=base_seed).compile()
 
 
 def paper_high_intensity_nonroot_plan(*, num_tests: int = 60, duration: float = 20.0,
                                       base_seed: int = 2000) -> TestPlan:
     """The high-intensity non-root campaign (inconsistent-state finding)."""
-    return build_intensity_plan(
-        IntensityLevel.HIGH,
-        InjectionTarget.hvc_and_trap(cpus={1}),
-        num_tests=num_tests,
-        scenario=Scenario.LIFECYCLE_UNDER_FAULT,
-        duration=duration,
-        base_seed=base_seed,
-        name="high-nonroot-hvc-trap",
-    )
+    from repro.core.config import catalog_config
+    return catalog_config("high-nonroot", num_tests=num_tests,
+                          duration=duration, base_seed=base_seed).compile()

@@ -1,0 +1,238 @@
+"""Plugin registries for the declarative campaign layer.
+
+Experiment construction is data, not code: every part of an experiment —
+fault model, trigger, injection target, scenario, system-under-test factory,
+outcome classifier, guest/workload builder — is registered here under a
+string key, and :mod:`repro.core.config` composes campaigns by naming keys
+and parameters instead of calling Python constructors. New parts plug in
+with a decorator::
+
+    from repro.core.registry import FAULT_MODELS
+
+    @FAULT_MODELS.register("double-bit-flip")
+    class DoubleBitFlip(FaultModel):
+        ...
+
+and are immediately reachable from config files, the catalog, and the CLI
+(``repro-fi list`` shows every key; ``repro-fi run`` and ``--sut`` resolve
+them).
+
+Keys resolve lazily: the first lookup imports the built-in provider modules
+(:mod:`repro.core.faultmodels`, :mod:`repro.core.triggers`,
+:mod:`repro.core.targets`, :mod:`repro.core.experiment`,
+:mod:`repro.core.outcomes`, :mod:`repro.core.sut`, :mod:`repro.baselines`,
+:mod:`repro.guests`), whose import-time ``register()`` decorators populate
+the tables. Unknown keys raise :class:`~repro.errors.RegistryError` with
+close-match suggestions, so a typo in a config file fails with "did you
+mean" instead of a bare ``KeyError``.
+"""
+
+from __future__ import annotations
+
+import difflib
+import importlib
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.errors import RegistryError
+
+#: Modules whose import populates the built-in registry entries.
+_BUILTIN_PLUGIN_MODULES = (
+    "repro.core.faultmodels",
+    "repro.core.triggers",
+    "repro.core.targets",
+    "repro.core.experiment",
+    "repro.core.outcomes",
+    "repro.core.sut",
+    "repro.baselines",
+    "repro.guests",
+)
+
+_plugins_loaded = False
+_plugins_loading = False
+
+
+def suggest_close_matches(key: str, known: Iterable[str]) -> str:
+    """``". Did you mean: a, b?"`` for the closest known keys, or ``""``.
+
+    Shared by every unknown-key error in the declarative layer (registries,
+    config tables, catalog) so the wording and match cutoff stay uniform.
+    """
+    matches = difflib.get_close_matches(str(key), sorted(known), n=3,
+                                        cutoff=0.5)
+    if not matches:
+        return ""
+    return f". Did you mean: {', '.join(matches)}?"
+
+
+def load_builtin_plugins() -> None:
+    """Import every built-in provider module (idempotent, re-entrancy safe).
+
+    Called automatically on the first registry lookup; importing a provider
+    module that itself performs lookups at import time does not recurse.
+    """
+    global _plugins_loaded, _plugins_loading
+    if _plugins_loaded or _plugins_loading:
+        return
+    _plugins_loading = True
+    try:
+        for module in _BUILTIN_PLUGIN_MODULES:
+            importlib.import_module(module)
+        _plugins_loaded = True
+    finally:
+        _plugins_loading = False
+
+
+class Registry:
+    """String key + params -> builder table for one kind of campaign part.
+
+    A *builder* is any callable returning a ready-to-use part; registering a
+    class uses its constructor. ``register`` accepts aliases, which resolve
+    like the canonical key but are not listed by :meth:`keys`.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._builders: Dict[str, Callable] = {}
+        self._canonical: Dict[str, str] = {}
+
+    # -- registration ---------------------------------------------------------------
+
+    def register(self, key: str, *aliases: str) -> Callable:
+        """Decorator: register the decorated builder under ``key`` (+ aliases)."""
+        def decorator(builder: Callable) -> Callable:
+            self.add(key, builder, aliases=aliases)
+            return builder
+        return decorator
+
+    def add(self, key: str, builder: Callable,
+            aliases: Iterable[str] = ()) -> None:
+        """Register ``builder`` imperatively (non-decorator form)."""
+        names = (key, *aliases)
+        # Validate every name before mutating anything, so a collision cannot
+        # leave the registry with names pointing at a builder never stored.
+        for name in names:
+            if not name or not isinstance(name, str):
+                raise RegistryError(
+                    f"{self.kind} registry keys must be non-empty strings, "
+                    f"got {name!r}"
+                )
+            if name in self._canonical:
+                raise RegistryError(
+                    f"{self.kind} key {name!r} is already registered "
+                    f"(for {self._canonical[name]!r}); keys must be unique"
+                )
+        for name in names:
+            self._canonical[name] = key
+        self._builders[key] = builder
+
+    def add_value(self, key: str, value, aliases: Iterable[str] = (),
+                  description: str = "") -> None:
+        """Register a constant (e.g. an enum member) as a zero-param builder."""
+        def builder():
+            return value
+        builder.__doc__ = description
+        self.add(key, builder, aliases=aliases)
+
+    # -- lookup ---------------------------------------------------------------------
+
+    def _ensure_loaded(self) -> None:
+        load_builtin_plugins()
+
+    def __contains__(self, key: str) -> bool:
+        self._ensure_loaded()
+        return key in self._canonical
+
+    def keys(self) -> List[str]:
+        """Sorted canonical keys (aliases excluded)."""
+        self._ensure_loaded()
+        return sorted(self._builders)
+
+    def canonical(self, key: str) -> str:
+        """Resolve ``key`` (or an alias) to its canonical key, or raise."""
+        self._ensure_loaded()
+        try:
+            return self._canonical[key]
+        except KeyError:
+            raise RegistryError(self._unknown_key_message(key)) from None
+
+    def get(self, key: str) -> Callable:
+        """The builder registered under ``key``; unknown keys raise with
+        near-match suggestions."""
+        return self._builders[self.canonical(key)]
+
+    def build(self, key: str, **params):
+        """Build the part registered under ``key`` with ``params`` as kwargs."""
+        builder = self.get(key)
+        try:
+            return builder(**params)
+        except TypeError as exc:
+            raise RegistryError(
+                f"cannot build {self.kind} {key!r} with params "
+                f"{params!r}: {exc}"
+            ) from exc
+
+    def describe(self) -> List[str]:
+        """One ``key — summary`` line per canonical key, sorted."""
+        lines = []
+        for key in self.keys():
+            doc = (self._builders[key].__doc__ or "").strip().splitlines()
+            summary = doc[0].strip() if doc else ""
+            lines.append(f"{key} — {summary}" if summary else key)
+        return lines
+
+    def _unknown_key_message(self, key: str) -> str:
+        return (f"unknown {self.kind} {key!r}; "
+                f"registered: {', '.join(sorted(self._builders)) or '(none)'}"
+                f"{suggest_close_matches(key, self._canonical)}")
+
+
+#: What to corrupt: builders returning :class:`~repro.core.faultmodels.FaultModel`.
+FAULT_MODELS = Registry("fault model")
+#: When to inject: builders returning :class:`~repro.core.triggers.Trigger`.
+TRIGGERS = Registry("trigger")
+#: Where to inject: builders returning :class:`~repro.core.targets.InjectionTarget`.
+TARGETS = Registry("injection target")
+#: Which life-cycle phase: builders returning :class:`~repro.core.experiment.Scenario`.
+SCENARIOS = Registry("scenario")
+#: Builders ``(seed, **params) -> SystemUnderTest`` for every SUT variant.
+SUTS = Registry("SUT")
+#: Builders returning :class:`~repro.core.outcomes.OutcomeClassifier` instances.
+CLASSIFIERS = Registry("outcome classifier")
+#: Guest operating-system builders (root/non-root cell payloads).
+GUESTS = Registry("guest")
+#: Workload builders (task sets loaded into a guest kernel).
+WORKLOADS = Registry("workload")
+
+
+class RegistrySutFactory:
+    """SUT factory that resolves its builder by registry key.
+
+    Unlike a closure over a SUT class, an instance of this class pickles by
+    value (key + params only), so it crosses ``spawn``-started worker
+    processes; the worker re-resolves the key against its own registry after
+    import. The key is validated eagerly so a typo fails in the parent with
+    suggestions, not inside a worker.
+    """
+
+    def __init__(self, key: str, params: Optional[dict] = None) -> None:
+        self.key = SUTS.canonical(key)
+        self.params = dict(params or {})
+
+    def __call__(self, seed: int):
+        return SUTS.build(self.key, seed=seed, **self.params)
+
+    def __repr__(self) -> str:
+        return f"RegistrySutFactory({self.key!r}, {self.params!r})"
+
+
+def resolve_sut_factory(sut) -> Callable:
+    """Normalize a SUT selector: a registry key becomes a picklable factory,
+    a callable passes through unchanged."""
+    if isinstance(sut, str):
+        return RegistrySutFactory(sut)
+    if callable(sut):
+        return sut
+    raise RegistryError(
+        f"SUT selector must be a registry key or a factory callable, "
+        f"got {type(sut).__name__}"
+    )

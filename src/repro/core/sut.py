@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.injection import FaultInjector
 from repro.core.monitors import AvailabilityMonitor, HypervisorMonitor, LogCollector
 from repro.core.outcomes import ManagementEvidence, OutcomeEvidence
+from repro.core.registry import SUTS
 from repro.errors import CampaignError
 from repro.guests.base import GuestEvent, GuestOS, GuestState
 from repro.guests.freertos.kernel import FreeRTOSKernel
@@ -390,3 +391,9 @@ class JailhouseSUT(SystemUnderTest):
         for injector in self.injectors:
             injector.uninstall()
         self.injectors.clear()
+
+
+@SUTS.register("jailhouse")
+def build_jailhouse_sut(seed: int = 0, **config_params) -> JailhouseSUT:
+    """The paper's deployment: Jailhouse managing Linux root + FreeRTOS inmate."""
+    return JailhouseSUT(SutConfig(seed=seed, **config_params))

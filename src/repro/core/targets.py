@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import FrozenSet, Iterable, Optional, Tuple
 
+from repro.core.registry import TARGETS
 from repro.errors import TargetError
 from repro.hypervisor.handlers import ALL_HANDLERS, HANDLER_HVC, HANDLER_IRQCHIP, HANDLER_TRAP
 
@@ -92,3 +93,45 @@ class InjectionTarget:
             cpu_filter=frozenset({cpu_id}),
             description=f"arch_handle_trap@cpu{cpu_id} (non-root cell)",
         )
+
+
+# -- registry builders ----------------------------------------------------------------
+
+@TARGETS.register("trap", HANDLER_TRAP)
+def build_trap_target(cpus: Optional[Iterable[int]] = None) -> InjectionTarget:
+    """``arch_handle_trap()``, optionally filtered to specific CPUs."""
+    return InjectionTarget.trap_handler(cpus)
+
+
+@TARGETS.register("hvc", HANDLER_HVC)
+def build_hvc_target(cpus: Optional[Iterable[int]] = None) -> InjectionTarget:
+    """``arch_handle_hvc()``, optionally filtered to specific CPUs."""
+    return InjectionTarget.hvc_handler(cpus)
+
+
+@TARGETS.register("irqchip", HANDLER_IRQCHIP)
+def build_irqchip_target(cpus: Optional[Iterable[int]] = None) -> InjectionTarget:
+    """``irqchip_handle_irq()``, optionally filtered to specific CPUs."""
+    return InjectionTarget.irqchip_handler(cpus)
+
+
+@TARGETS.register("hvc+trap")
+def build_hvc_and_trap_target(cpus: Optional[Iterable[int]] = None) -> InjectionTarget:
+    """Both management-relevant handlers, as in the high-intensity tests."""
+    return InjectionTarget.hvc_and_trap(cpus)
+
+
+@TARGETS.register("nonroot-trap")
+def build_nonroot_trap_target(cpu_id: int = 1) -> InjectionTarget:
+    """The Figure-3 target: the trap handler on the non-root cell's CPU."""
+    return InjectionTarget.nonroot_cpu_trap(cpu_id)
+
+
+@TARGETS.register("handlers")
+def build_handlers_target(handlers: Iterable[str],
+                          cpus: Optional[Iterable[int]] = None) -> InjectionTarget:
+    """Arbitrary handler list + optional CPU filter (fully generic target)."""
+    return InjectionTarget(
+        handlers=tuple(handlers),
+        cpu_filter=frozenset(cpus) if cpus is not None else None,
+    )

@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.registry import TRIGGERS
 from repro.errors import InjectionError
 
 
@@ -108,3 +109,29 @@ class BurstTrigger(Trigger):
 
     def describe(self) -> str:
         return f"burst of {self.burst} every {self.n} calls"
+
+
+# -- registry builders ----------------------------------------------------------------
+
+@TRIGGERS.register("every-n-calls")
+def build_every_n_calls(n: int, offset: int = 0) -> EveryNCalls:
+    """Fire once every ``n`` matching calls (the paper's rate-based trigger)."""
+    return EveryNCalls(n, offset=offset)
+
+
+@TRIGGERS.register("probabilistic")
+def build_probabilistic(probability: float) -> ProbabilisticTrigger:
+    """Fire independently with ``probability`` on each matching call."""
+    return ProbabilisticTrigger(probability)
+
+
+@TRIGGERS.register("one-shot")
+def build_one_shot(n: int = 1) -> OneShotAtCall:
+    """Fire exactly once, at the ``n``-th matching call."""
+    return OneShotAtCall(n)
+
+
+@TRIGGERS.register("burst")
+def build_burst(n: int, burst: int) -> BurstTrigger:
+    """Fire for ``burst`` consecutive calls every ``n`` calls."""
+    return BurstTrigger(n, burst)

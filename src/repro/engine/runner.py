@@ -32,6 +32,7 @@ from repro.core.experiment import (
 )
 from repro.core.outcomes import OutcomeClassifier
 from repro.core.plan import TestPlan
+from repro.core.registry import resolve_sut_factory
 from repro.engine.aggregate import EngineProgress, LiveAggregator
 from repro.engine.checkpoint import Checkpoint
 from repro.engine.scheduler import build_work_queue
@@ -44,7 +45,7 @@ class CampaignEngine:
 
     def __init__(self, plan: TestPlan, *,
                  jobs: int = 1,
-                 sut_factory: SutFactory = default_sut_factory,
+                 sut_factory: "SutFactory | str" = default_sut_factory,
                  classifier: Optional[OutcomeClassifier] = None,
                  checkpoint_path: Optional[str] = None,
                  resume: bool = False,
@@ -56,7 +57,9 @@ class CampaignEngine:
             raise CampaignError("resume requires a checkpoint path")
         self.plan = plan
         self.jobs = resolve_jobs(jobs)
-        self.sut_factory = sut_factory
+        # A registry key (e.g. "bao-like") becomes a factory that pickles by
+        # value and re-resolves inside spawn-started worker processes.
+        self.sut_factory = resolve_sut_factory(sut_factory)
         self.classifier = classifier or OutcomeClassifier()
         self.checkpoint = (
             Checkpoint(checkpoint_path) if checkpoint_path is not None else None

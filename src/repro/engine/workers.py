@@ -34,6 +34,7 @@ from repro.core.experiment import (
     default_sut_factory,
 )
 from repro.core.outcomes import OutcomeClassifier
+from repro.core.registry import resolve_sut_factory
 from repro.engine.scheduler import WorkItem, shard_for_pool
 from repro.errors import CampaignError
 
@@ -132,12 +133,13 @@ def _pool_context() -> multiprocessing.context.BaseContext:
 
 
 def execute_serial(items: Sequence[WorkItem],
-                   sut_factory: SutFactory = default_sut_factory,
+                   sut_factory: "SutFactory | str" = default_sut_factory,
                    classifier: Optional[OutcomeClassifier] = None,
                    pooling: bool = False,
                    ) -> Iterator[IndexedResult]:
     """Run every item in queue order in this process (the ``jobs=1`` backend)."""
     classifier = classifier or OutcomeClassifier()
+    sut_factory = resolve_sut_factory(sut_factory)
     if pooling:
         sut_factory = PooledSutFactory(sut_factory)
     for item in items:
@@ -146,7 +148,7 @@ def execute_serial(items: Sequence[WorkItem],
 
 def execute_pool(items: Sequence[WorkItem],
                  jobs: int,
-                 sut_factory: SutFactory = default_sut_factory,
+                 sut_factory: "SutFactory | str" = default_sut_factory,
                  classifier: Optional[OutcomeClassifier] = None,
                  chunk_size: Optional[int] = None,
                  pooling: bool = False,
@@ -165,6 +167,7 @@ def execute_pool(items: Sequence[WorkItem],
     are so short that per-task dispatch overhead dominates.
     """
     jobs = resolve_jobs(jobs)
+    sut_factory = resolve_sut_factory(sut_factory)
     if jobs == 1 or len(items) <= 1:
         yield from execute_serial(items, sut_factory, classifier, pooling)
         return

@@ -109,6 +109,14 @@ class TargetError(InjectionError):
     """An injection target does not exist on the system under test."""
 
 
+class RegistryError(InjectionError):
+    """A plugin registry lookup or registration failed (unknown/duplicate key)."""
+
+
+class CampaignConfigError(CampaignError):
+    """A declarative campaign configuration is malformed or unloadable."""
+
+
 class AnalysisError(ReproError):
     """Raised when analytics are asked to process malformed records."""
 

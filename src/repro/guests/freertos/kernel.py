@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.core.registry import GUESTS
 from repro.guests.base import GuestEvent, GuestOS, GuestState
 from repro.guests.freertos.queue import MessageQueue
 from repro.guests.freertos.task import EffectKind, Task, TaskEffect, TaskState
@@ -43,6 +44,7 @@ class KernelConfig:
     status_print_period: float = 1.0    # heartbeat line cadence per task group
 
 
+@GUESTS.register("freertos")
 class FreeRTOSKernel(GuestOS):
     """The non-root cell's RTOS."""
 

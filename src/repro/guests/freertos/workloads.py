@@ -11,6 +11,7 @@ from __future__ import annotations
 import math
 from typing import List, Optional
 
+from repro.core.registry import WORKLOADS
 from repro.guests.freertos.kernel import FreeRTOSKernel, KernelConfig
 from repro.guests.freertos.queue import MessageQueue
 from repro.guests.freertos.task import EffectKind, Task, TaskEffect
@@ -83,6 +84,7 @@ def _make_integer_body(index: int):
     return body
 
 
+@WORKLOADS.register("paper", "freertos-paper")
 def build_paper_workload(name: str = "FreeRTOS", *, seed: int = 0,
                          config: Optional[KernelConfig] = None) -> FreeRTOSKernel:
     """Build the FreeRTOS kernel loaded with the paper's task set."""

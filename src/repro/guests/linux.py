@@ -13,12 +13,14 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.core.registry import GUESTS
 from repro.guests.base import GuestEvent, GuestOS, GuestState
 from repro.hw.registers import Register
 from repro.hypervisor.hypercalls import Hypercall
 from repro.hypervisor.traps import TrapCode
 
 
+@GUESTS.register("linux")
 class LinuxGuest(GuestOS):
     """General-purpose OS running in the root cell."""
 

@@ -1,9 +1,13 @@
 """Tests for the repro-fi command-line front-end."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
 from repro.core.recording import RecordStore
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
 
 
 def run_cli(capsys, *argv):
@@ -97,3 +101,138 @@ class TestReportAndSeooc:
     def test_seooc_with_no_usable_files_fails(self, capsys, tmp_path):
         code, _, err = run_cli(capsys, "seooc", str(tmp_path / "empty.jsonl"))
         assert code == 1
+
+
+class TestScenarios:
+    def test_park_and_recover_is_reachable_from_the_cli(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "campaign", "--scenario", "park-and-recover",
+            "--tests", "1", "--duration", "3",
+        )
+        assert code == 0
+        assert "Campaign:" in out
+
+    def test_every_registered_scenario_is_a_parser_choice(self):
+        from repro.core.registry import SCENARIOS
+        args = build_parser().parse_args(
+            ["campaign", "--scenario", "park-and-recover"])
+        assert args.scenario == "park-and-recover"
+        for key in SCENARIOS.keys():
+            build_parser().parse_args(["campaign", "--scenario", key])
+
+
+class TestSutSelection:
+    @pytest.mark.parametrize("sut", ["jailhouse", "bao-like", "no-isolation"])
+    def test_campaign_accepts_every_registered_sut(self, capsys, sut):
+        code, out, _ = run_cli(
+            capsys, "campaign", "--tests", "1", "--duration", "3",
+            "--sut", sut,
+        )
+        assert code == 0
+
+    def test_unknown_sut_fails_with_a_suggestion(self, capsys):
+        code, _, err = run_cli(
+            capsys, "campaign", "--tests", "1", "--duration", "3",
+            "--sut", "jalhouse",
+        )
+        assert code == 2
+        assert "jailhouse" in err
+
+    def test_golden_runs_against_a_baseline_sut(self, capsys):
+        code, out, _ = run_cli(capsys, "golden", "--duration", "3",
+                               "--sut", "bao-like")
+        assert code == 0
+        assert "handler calls" in out
+
+
+class TestRunAndList:
+    def test_run_executes_a_toml_config(self, capsys, tmp_path):
+        output = tmp_path / "run.jsonl"
+        code, out, _ = run_cli(
+            capsys, "run", str(EXAMPLES / "campaign_fig3.toml"),
+            "--tests", "2", "--duration", "2", "--output", str(output),
+        )
+        assert code == 0
+        assert "Campaign:" in out
+        assert len(RecordStore(output).load()) == 2
+
+    def test_run_executes_a_catalog_entry_by_name(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "fig3", "--tests", "1", "--duration", "2",
+        )
+        assert code == 0
+        assert "Campaign:" in out
+
+    def test_run_with_sut_override(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "fig3", "--tests", "1", "--duration", "2",
+            "--sut", "no-isolation",
+        )
+        assert code == 0
+
+    def test_run_rejects_unknown_config_with_catalog_hint(self, capsys):
+        code, _, err = run_cli(capsys, "run", "fig33")
+        assert code == 2
+        assert "fig3" in err
+
+    def test_run_config_with_bad_part_key_reports_suggestion(self, capsys, tmp_path):
+        config = tmp_path / "bad.toml"
+        config.write_text(
+            '[campaign]\nname = "bad"\nintensity = "medium"\n'
+            '[[target]]\nkind = "nonroot-trp"\n'
+        )
+        code, _, err = run_cli(capsys, "run", str(config),
+                               "--tests", "1", "--duration", "2")
+        assert code == 2
+        assert "nonroot-trap" in err
+
+    def test_fig3_checkpoint_resumes_under_run(self, capsys, tmp_path):
+        """The acceptance scenario: a checkpoint written by ``fig3`` is
+        resumed by ``run`` on the equivalent declarative config."""
+        ck = tmp_path / "ck.jsonl"
+        code, _, _ = run_cli(
+            capsys, "fig3", "--tests", "2", "--duration", "2",
+            "--resume", str(ck),
+        )
+        assert code == 0
+        assert len(RecordStore(ck).load()) == 2
+        before = ck.read_text()
+        code, out, _ = run_cli(
+            capsys, "run", str(EXAMPLES / "campaign_fig3.toml"),
+            "--tests", "2", "--duration", "2", "--resume", str(ck),
+        )
+        assert code == 0
+        # Every spec was restored from the checkpoint; nothing re-ran, so
+        # the record file is byte-identical.
+        assert ck.read_text() == before
+
+    def test_run_tests_override_shrinks_a_random_sampling_config(
+            self, capsys, tmp_path):
+        output = tmp_path / "rnd.jsonl"
+        code, _, _ = run_cli(
+            capsys, "run", str(EXAMPLES / "campaign_random_sample.json"),
+            "--tests", "1", "--duration", "2", "--output", str(output),
+        )
+        assert code == 0
+        assert len(RecordStore(output).load()) == 1
+
+    def test_run_rejects_duplicate_scenarios_without_a_traceback(
+            self, capsys, tmp_path):
+        config = tmp_path / "dup.toml"
+        config.write_text(
+            '[campaign]\nname = "dup"\nintensity = "medium"\n'
+            'scenario = ["steady-state", "steady_state"]\n'
+            '[[target]]\nkind = "nonroot-trap"\n'
+        )
+        code, _, err = run_cli(capsys, "run", str(config))
+        assert code == 2
+        assert "more than once" in err
+
+    def test_list_shows_registries_and_catalog(self, capsys):
+        code, out, _ = run_cli(capsys, "list")
+        assert code == 0
+        for expected in ("fig3", "park-and-recover", "jailhouse", "bao-like",
+                         "no-isolation", "single-bit-flip", "every-n-calls",
+                         "nonroot-trap", "catalog", "linux", "freertos",
+                         "paper"):
+            assert expected in out

@@ -1,0 +1,149 @@
+"""Tests for the plugin registries behind the declarative campaign layer."""
+
+import pickle
+
+import pytest
+
+from repro.baselines import BaoLikeSUT, NoIsolationSUT
+from repro.core.experiment import Scenario
+from repro.core.faultmodels import MultiRegisterBitFlip, SingleBitFlip
+from repro.core.registry import (
+    CLASSIFIERS,
+    FAULT_MODELS,
+    GUESTS,
+    Registry,
+    RegistrySutFactory,
+    SCENARIOS,
+    SUTS,
+    TARGETS,
+    TRIGGERS,
+    WORKLOADS,
+    resolve_sut_factory,
+)
+from repro.core.sut import JailhouseSUT
+from repro.core.triggers import EveryNCalls
+from repro.errors import RegistryError
+from repro.hw.registers import RegisterClass
+
+
+class TestBuiltinKeys:
+    def test_every_registry_has_its_builtin_keys(self):
+        assert {"single-bit-flip", "multi-register-bit-flip",
+                "register-class-bit-flip", "multi-bit-burst",
+                "stuck-at"} <= set(FAULT_MODELS.keys())
+        assert {"every-n-calls", "probabilistic", "one-shot",
+                "burst"} <= set(TRIGGERS.keys())
+        assert {"trap", "hvc", "irqchip", "hvc+trap", "nonroot-trap",
+                "handlers"} <= set(TARGETS.keys())
+        assert {"steady-state", "lifecycle", "repeated-lifecycle",
+                "park-and-recover"} <= set(SCENARIOS.keys())
+        assert {"jailhouse", "bao-like", "no-isolation"} <= set(SUTS.keys())
+        assert "default" in CLASSIFIERS.keys()
+        assert {"linux", "freertos"} <= set(GUESTS.keys())
+        assert "paper" in WORKLOADS.keys()
+
+    def test_build_returns_configured_parts(self):
+        trigger = TRIGGERS.build("every-n-calls", n=100)
+        assert isinstance(trigger, EveryNCalls) and trigger.n == 100
+        model = FAULT_MODELS.build("multi-register-bit-flip", count=3)
+        assert isinstance(model, MultiRegisterBitFlip) and model.count == 3
+        target = TARGETS.build("nonroot-trap")
+        assert target.describe() == "arch_handle_trap@cpu1 (non-root cell)"
+        assert SCENARIOS.build("park-and-recover") is Scenario.PARK_AND_RECOVER
+
+    def test_register_class_flip_accepts_string_class_names(self):
+        model = FAULT_MODELS.build("register-class-bit-flip", target_class="sp")
+        assert model.target_class is RegisterClass.STACK_POINTER
+
+    def test_aliases_resolve_to_the_canonical_builder(self):
+        assert SCENARIOS.build("steady_state") is Scenario.STEADY_STATE
+        assert isinstance(SUTS.build("bao", seed=1), BaoLikeSUT)
+        # Aliases are not listed as keys of their own.
+        assert "bao" not in SUTS.keys()
+
+
+class TestErrors:
+    def test_unknown_key_raises_with_a_suggestion(self):
+        with pytest.raises(RegistryError) as excinfo:
+            FAULT_MODELS.build("single-bitflip")
+        assert "single-bit-flip" in str(excinfo.value)
+        assert "Did you mean" in str(excinfo.value)
+
+    def test_unknown_key_without_a_close_match_lists_the_registry(self):
+        with pytest.raises(RegistryError) as excinfo:
+            TRIGGERS.get("zzzz")
+        assert "every-n-calls" in str(excinfo.value)
+
+    def test_bad_params_raise_registry_error_naming_the_key(self):
+        with pytest.raises(RegistryError) as excinfo:
+            TRIGGERS.build("every-n-calls", interval=10)
+        assert "every-n-calls" in str(excinfo.value)
+
+    def test_duplicate_registration_is_rejected(self):
+        registry = Registry("thing")
+        registry.add("a", lambda: 1)
+        with pytest.raises(RegistryError):
+            registry.add("a", lambda: 2)
+        with pytest.raises(RegistryError):
+            registry.add("b", lambda: 3, aliases=("a",))
+
+    def test_failed_registration_leaves_the_registry_untouched(self):
+        registry = Registry("thing")
+        registry.add("a", lambda: 1)
+        with pytest.raises(RegistryError):
+            registry.add("b", lambda: 3, aliases=("a",))
+        # The rejected key must not be half-registered: not listed, not
+        # resolvable, and re-registrable under a non-colliding spelling.
+        assert registry.keys() == ["a"]
+        with pytest.raises(RegistryError):
+            registry.get("b")
+        registry.add("b", lambda: 3)
+        assert registry.build("b") == 3
+
+    def test_empty_key_is_rejected(self):
+        registry = Registry("thing")
+        with pytest.raises(RegistryError):
+            registry.add("", lambda: 1)
+
+
+class TestSutFactories:
+    @pytest.mark.parametrize("key,sut_class", [
+        ("jailhouse", JailhouseSUT),
+        ("bao-like", BaoLikeSUT),
+        ("no-isolation", NoIsolationSUT),
+    ])
+    def test_every_sut_variant_is_buildable_by_name(self, key, sut_class):
+        factory = RegistrySutFactory(key)
+        sut = factory(seed=42)
+        assert type(sut) is sut_class
+        assert sut.config.seed == 42
+
+    def test_factory_pickles_by_value(self):
+        factory = RegistrySutFactory("bao-like")
+        clone = pickle.loads(pickle.dumps(factory))
+        assert clone.key == "bao-like"
+        assert isinstance(clone(seed=7), BaoLikeSUT)
+
+    def test_factory_params_reach_the_sut_config(self):
+        factory = RegistrySutFactory("jailhouse", {"timestep": 0.05})
+        assert factory(seed=0).config.timestep == 0.05
+
+    def test_unknown_sut_key_fails_eagerly_in_the_parent(self):
+        with pytest.raises(RegistryError) as excinfo:
+            RegistrySutFactory("jalhouse")
+        assert "jailhouse" in str(excinfo.value)
+
+    def test_resolve_passes_callables_through(self):
+        def factory(seed):
+            return None
+        assert resolve_sut_factory(factory) is factory
+        assert isinstance(resolve_sut_factory("jailhouse"), RegistrySutFactory)
+        with pytest.raises(RegistryError):
+            resolve_sut_factory(42)
+
+
+class TestDescribe:
+    def test_describe_emits_one_line_per_key(self):
+        lines = SUTS.describe()
+        assert len(lines) == len(SUTS.keys())
+        assert any(line.startswith("jailhouse") for line in lines)
