@@ -258,7 +258,8 @@ def main(argv=None) -> int:
                         help="CI-sized run (seconds instead of minutes)")
     parser.add_argument("--output", default=None,
                         help="where to write BENCH_hotpath.json "
-                             "(default: benchmarks/results/BENCH_hotpath.json)")
+                             "(default: repo root, so the perf trajectory "
+                             "is committed with the code)")
     parser.add_argument("--check-against", metavar="BASELINE",
                         help="baseline BENCH_hotpath.json to compare "
                              "calibrated latency against")
@@ -271,7 +272,7 @@ def main(argv=None) -> int:
     print(render(report))
 
     output = Path(args.output) if args.output else (
-        Path(__file__).parent / "results" / "BENCH_hotpath.json"
+        Path(__file__).parent.parent / "BENCH_hotpath.json"
     )
     output.parent.mkdir(parents=True, exist_ok=True)
     output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")

@@ -26,6 +26,8 @@ a killed campaign picks up where it left off. ``--sut`` selects the system
 under test by registry name (``jailhouse``, ``bao-like``, ``no-isolation``,
 or any plugin-registered variant); spec identities do not depend on the SUT,
 so the same checkpoint drives campaigns against every variant.
+``--pooling``, ``--prefix-cache`` and ``--chunk-size`` tune execution speed
+without changing any outcome — see the README's Performance guide.
 """
 
 from __future__ import annotations
@@ -71,7 +73,8 @@ from repro.core.report import (
 from repro.core.analysis import outcome_distribution
 from repro.core.targets import InjectionTarget
 from repro.engine import CampaignEngine
-from repro.errors import CampaignConfigError, RegistryError
+from repro.engine.scheduler import normalize_chunk_size
+from repro.errors import CampaignConfigError, CampaignError, RegistryError
 from repro.hypervisor.handlers import ALL_HANDLERS
 from repro.safety.evidence import build_evidence_report
 
@@ -108,8 +111,38 @@ def _sut_factory(args, default: "str | RegistrySutFactory" = "jailhouse"):
     return default
 
 
-def _run_plan(plan, args, sut_factory=None, classifier=None):
-    """Execute a plan through the engine with the shared campaign flags."""
+def _parse_chunk_size(raw) -> "int | str | None":
+    """Parse a ``--chunk-size`` value: a positive integer or ``auto``.
+
+    Only string-to-int conversion lives here; the actual rule is the
+    engine's :func:`~repro.engine.scheduler.normalize_chunk_size`, re-wrapped
+    as a user-input error so the CLI reports it without a traceback.
+    """
+    if isinstance(raw, str) and raw != "auto":
+        try:
+            raw = int(raw)
+        except ValueError:
+            pass                         # let the shared validator reject it
+    try:
+        return normalize_chunk_size(raw)
+    except CampaignError as exc:
+        raise CampaignConfigError(f"--chunk-size: {exc}") from None
+
+
+def _run_plan(plan, args, sut_factory=None, classifier=None,
+              prefix_cache_default: bool = False,
+              chunk_size_default: "int | str | None" = None):
+    """Execute a plan through the engine with the shared campaign flags.
+
+    ``--prefix-cache/--no-prefix-cache`` and ``--chunk-size`` override the
+    defaults (which ``repro-fi run`` takes from the campaign config).
+    """
+    prefix_cache = getattr(args, "prefix_cache", None)
+    if prefix_cache is None:
+        prefix_cache = prefix_cache_default
+    chunk_size = _parse_chunk_size(getattr(args, "chunk_size", None))
+    if chunk_size is None:
+        chunk_size = chunk_size_default
     engine = CampaignEngine(
         plan,
         jobs=args.jobs,
@@ -117,10 +150,19 @@ def _run_plan(plan, args, sut_factory=None, classifier=None):
         classifier=classifier,
         checkpoint_path=args.resume,
         resume=args.resume is not None,
+        chunk_size=chunk_size,
         pooling=getattr(args, "pooling", False),
+        prefix_cache=prefix_cache,
         progress=_progress if args.verbose else None,
     )
-    return engine.run()
+    result = engine.run()
+    stats = result.prefix_cache_stats()
+    if stats["hits"] or stats["misses"]:
+        executed = stats["hits"] + stats["misses"]
+        print(f"prefix cache: {stats['hits']} hits / {stats['misses']} "
+              f"misses ({stats['hits'] / executed:.0%} of cached "
+              f"experiments fast-forwarded)")
+    return result
 
 
 def cmd_golden(args: argparse.Namespace) -> int:
@@ -199,6 +241,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         plan, args,
         sut_factory=config.sut_factory(override=args.sut),
         classifier=config.build_classifier(),
+        prefix_cache_default=config.prefix_cache,
+        chunk_size_default=config.chunk_size,
     )
     print(format_campaign_summary(result))
     _save_records(result, args.output)
@@ -280,6 +324,23 @@ def build_parser() -> argparse.ArgumentParser:
                              help="reuse one booted SUT per worker via "
                                   "snapshot/restore instead of cold-booting "
                                   "every experiment (outcomes are identical)")
+        command.add_argument("--prefix-cache",
+                             action=argparse.BooleanOptionalAction,
+                             default=None,
+                             help="execute each distinct pre-injection prefix "
+                                  "once and fork all fault variants from its "
+                                  "snapshot (records are identical to cold "
+                                  "execution; implies --pooling); "
+                                  "--no-prefix-cache overrides a config that "
+                                  "enables it")
+        command.add_argument("--chunk-size", metavar="N|auto",
+                             help="experiments per pool task (default 1: "
+                                  "every completion streams/checkpoints "
+                                  "immediately; with --prefix-cache and "
+                                  "--jobs>1 tasks are whole prefix families, "
+                                  "so that is the streaming granularity); "
+                                  "'auto' sizes tasks for very short "
+                                  "experiments")
         command.add_argument("--verbose", action="store_true")
 
     golden = sub.add_parser("golden", help="profile a fault-free run")

@@ -80,6 +80,26 @@ class CampaignResult:
     def results_with_outcome(self, outcome: Outcome) -> List[ExperimentResult]:
         return [result for result in self.results if result.outcome is outcome]
 
+    def prefix_cache_stats(self) -> Dict[str, int]:
+        """Prefix fast-forward effectiveness of this campaign.
+
+        ``hits`` forked from a cached pre-injection snapshot, ``misses``
+        executed (and cached) their family's prefix, ``uncached`` ran with
+        the cache off or bypassed (cold-boot opt-outs, resumed records,
+        SUTs without snapshot support). Execution bookkeeping, not part of
+        the persisted records — a cached campaign's records are identical
+        to a cold one's.
+        """
+        hits = sum(1 for result in self.results
+                   if result.prefix_cache_hit is True)
+        misses = sum(1 for result in self.results
+                     if result.prefix_cache_hit is False)
+        return {
+            "hits": hits,
+            "misses": misses,
+            "uncached": len(self.results) - hits - misses,
+        }
+
     def to_records(self) -> List[ExperimentRecord]:
         return [ExperimentRecord.from_result(result) for result in self.results]
 
@@ -149,7 +169,9 @@ class Campaign:
             jobs: int = 1,
             checkpoint_path: Optional[str] = None,
             resume: bool = False,
-            pooling: bool = False) -> CampaignResult:
+            pooling: bool = False,
+            prefix_cache: bool = False,
+            chunk_size: "int | str | None" = None) -> CampaignResult:
         """Execute every experiment in the plan.
 
         Execution is delegated to the :class:`~repro.engine.runner.
@@ -161,7 +183,13 @@ class Campaign:
         restored instead of re-executed. ``pooling=True`` enables SUT
         snapshot/reset pooling: each worker boots one system under test and
         restores it between experiments, with outcomes identical to cold
-        boots.
+        boots. ``prefix_cache=True`` additionally executes each distinct
+        pre-injection prefix once per worker and forks all fault variants of
+        that prefix family from its snapshot — again with records identical
+        to cold execution (it implies ``pooling`` so all cached prefixes
+        share one SUT per worker). ``chunk_size`` groups pool tasks
+        (``"auto"`` derives a size from the queue; see
+        :func:`~repro.engine.scheduler.suggest_chunk_size`).
         """
         # Imported here: the engine returns this module's CampaignResult, so a
         # top-level import would be circular.
@@ -181,6 +209,8 @@ class Campaign:
             checkpoint_path=checkpoint_path,
             resume=resume,
             pooling=pooling,
+            prefix_cache=prefix_cache,
+            chunk_size=chunk_size,
             progress=engine_progress,
         )
         campaign_result = engine.run()

@@ -60,7 +60,7 @@ _CAMPAIGN_KEYS = frozenset({
     "name", "description", "tests", "base_seed", "duration", "settle_time",
     "warmup_time", "observe_time", "intensity", "scenario", "sut",
     "classifier", "sampling", "sample_size", "sample_seed",
-    "high_intensity_registers",
+    "high_intensity_registers", "prefix_cache", "chunk_size",
 })
 #: Top-level tables/arrays accepted next to ``[campaign]``.
 _TOP_LEVEL_KEYS = frozenset({"campaign", "target", "trigger", "fault_model"})
@@ -152,6 +152,15 @@ class CampaignConfig:
     sampling: str = "grid"
     sample_size: Optional[int] = None
     sample_seed: int = 0
+    #: Prefix fast-forward: execute each distinct pre-injection prefix once
+    #: and fork all fault variants from its snapshot (records identical to
+    #: cold execution). The CLI's ``--prefix-cache/--no-prefix-cache``
+    #: overrides this.
+    prefix_cache: bool = False
+    #: Pool-task granularity: a positive int, ``"auto"``, or ``None`` for the
+    #: engine default of one experiment per task. The CLI's ``--chunk-size``
+    #: overrides this.
+    chunk_size: Optional[object] = None
 
     # -- loading --------------------------------------------------------------------
 
@@ -212,6 +221,8 @@ class CampaignConfig:
             sample_size=(int(campaign["sample_size"])
                          if "sample_size" in campaign else None),
             sample_seed=int(campaign.get("sample_seed", 0)),
+            prefix_cache=bool(campaign.get("prefix_cache", False)),
+            chunk_size=campaign.get("chunk_size"),
         )
         config.validate()
         return config
@@ -248,6 +259,16 @@ class CampaignConfig:
                 "config needs [[trigger]] and [[fault_model]] entries, or "
                 "intensity = 'medium'/'high' to derive them"
             )
+        if self.chunk_size is not None:
+            # Deferred import: core describes campaigns, engine executes
+            # them, and the chunk-size rule belongs to the execution layer.
+            from repro.engine.scheduler import normalize_chunk_size
+            from repro.errors import CampaignError
+            try:
+                normalize_chunk_size(self.chunk_size)
+            except CampaignError as exc:
+                raise CampaignConfigError(
+                    f"[campaign] chunk_size: {exc}") from None
 
     # -- compilation ----------------------------------------------------------------
 

@@ -163,6 +163,46 @@ class ExperimentSpec:
         ))
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
+    def prefix_key(self, *, sut: str = "") -> str:
+        """Stable identity of this spec's *pre-injection prefix*.
+
+        Two specs hash identically exactly when they execute the same golden
+        bring-up before the injector is armed — same scenario, same system
+        under test (``sut`` is the engine-supplied factory token), same seed
+        (the guest RNG streams diverge per seed from the first boot draw),
+        and the same prefix timing. Only the phases executed *before* arming
+        matter: steady-state and park-and-recover settle for ``settle_time``
+        after the fault-free bring-up, while the lifecycle scenarios arm
+        immediately after :meth:`~repro.core.sut.SystemUnderTest.setup` —
+        so specs that differ only in target, trigger, fault model, duration,
+        or post-arm timing share one prefix and can fork from one snapshot.
+
+        Triggers normally contribute nothing (call-count triggers observe
+        only post-arm calls); a trigger whose
+        :meth:`~repro.core.triggers.Trigger.prefix_component` returns a
+        fast-forwardable coordinate splits families on it.
+        """
+        # The two lifecycle scenarios execute the identical prefix (the bare
+        # boot), so they share one family; steady-state and park-and-recover
+        # stay separate — their bring-ups run the same operations but enforce
+        # different golden-run validations.
+        if self.scenario in (Scenario.LIFECYCLE_UNDER_FAULT,
+                             Scenario.REPEATED_LIFECYCLE):
+            prefix_class = "post-setup"
+        else:
+            prefix_class = self.scenario.value
+        parts = [prefix_class, str(self.seed), sut]
+        if self.scenario in (Scenario.STEADY_STATE, Scenario.PARK_AND_RECOVER):
+            parts.append(f"settle={self.settle_time:g}")
+        component = None
+        prefix_component = getattr(self.trigger, "prefix_component", None)
+        if prefix_component is not None:
+            component = prefix_component()
+        if component is not None:
+            parts.append(f"trigger={component}")
+        payload = "|".join(parts)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
 
 @dataclass
 class ExperimentResult:
@@ -184,6 +224,13 @@ class ExperimentResult:
     root_cell_lines: int = 0
     extras: Dict[str, object] = field(default_factory=dict)
     wall_time: float = 0.0
+    #: How the engine's prefix fast-forward cache served this experiment:
+    #: ``True`` = forked from a cached pre-injection snapshot, ``False`` =
+    #: this run executed (and cached) its family's prefix, ``None`` = the
+    #: cache was off or bypassed. Execution bookkeeping only — deliberately
+    #: excluded from :class:`~repro.core.recording.ExperimentRecord`, so
+    #: cached and cold campaigns stay record-for-record identical.
+    prefix_cache_hit: Optional[bool] = None
 
     @property
     def failed(self) -> bool:
@@ -210,9 +257,82 @@ class Experiment:
         self.classifier = classifier or OutcomeClassifier()
 
     def run(self) -> ExperimentResult:
+        """Run the full experiment on a fresh system under test.
+
+        Composes :meth:`run_prefix` (golden bring-up to the injection point)
+        and :meth:`run_from_snapshot` (arm, inject, classify), which is
+        exactly what the engine's prefix fast-forward path executes — the two
+        paths share every line, so cached campaigns are bit-identical to
+        cold ones by construction.
+        """
         started = time.perf_counter()
+        sut = self.sut_factory(self.spec.seed)
+        try:
+            self.run_prefix(sut)
+            return self.run_from_snapshot(sut, wall_start=started)
+        finally:
+            sut.teardown()
+
+    # -- prefix: golden bring-up to the injection point -----------------------------------
+
+    def run_prefix(self, sut: SystemUnderTest) -> None:
+        """Execute the pre-injection prefix: everything before arming.
+
+        No injector is installed during the prefix, so the resulting SUT
+        state is shared by every spec with the same
+        :meth:`ExperimentSpec.prefix_key` — the engine snapshots it once per
+        prefix family and forks each fault variant from the snapshot. The
+        steady-state and park-and-recover scenarios bring the deployment up
+        fault-free and settle; the lifecycle scenarios stop right after
+        :meth:`~repro.core.sut.SystemUnderTest.setup`, because exposing the
+        cell-management path to faults *is* their experiment.
+        """
         spec = self.spec
-        sut = self.sut_factory(spec.seed)
+        scenario = spec.scenario
+        sut.setup()
+        if scenario is Scenario.STEADY_STATE:
+            management = sut.perform_cell_lifecycle()
+            if not (management.create_succeeded and management.start_succeeded):
+                raise CampaignError(
+                    "golden bring-up failed before injection; the system under "
+                    "test is misconfigured"
+                )
+            sut.run(spec.settle_time)
+            pre_check = sut.evidence(0.0, sut.now)
+            if pre_check.observation.panicked or pre_check.observation.inconsistent_cells:
+                raise CampaignError(
+                    "golden bring-up left the system panicked or inconsistent "
+                    "before any fault was injected; the system under test is "
+                    "misconfigured"
+                )
+        elif scenario is Scenario.PARK_AND_RECOVER:
+            management = sut.perform_cell_lifecycle()
+            if not management.start_succeeded:
+                raise CampaignError("golden bring-up failed before injection")
+            sut.run(spec.settle_time)
+        elif scenario in (Scenario.LIFECYCLE_UNDER_FAULT,
+                          Scenario.REPEATED_LIFECYCLE):
+            pass
+        else:  # pragma: no cover - exhaustive enum
+            raise CampaignError(f"unknown scenario {spec.scenario}")
+
+    # -- suffix: arm, inject, classify ----------------------------------------------------
+
+    def run_from_snapshot(self, sut: SystemUnderTest, *,
+                          wall_start: Optional[float] = None) -> ExperimentResult:
+        """Run the injection suffix on a SUT already at the post-prefix state.
+
+        ``sut`` must be positioned exactly where :meth:`run_prefix` leaves it
+        — either because the prefix just ran, or because the engine restored
+        a prefix snapshot via ``fork_from_snapshot``. Builds and installs the
+        injector (fresh RNG seeded from the spec, so the suffix draw order is
+        independent of how the prefix state was reached), runs the scenario's
+        injection window, and classifies the outcome. The caller owns the
+        SUT's lifecycle: ``sut.teardown()`` (which uninstalls the injector)
+        is *not* called here.
+        """
+        started = wall_start if wall_start is not None else time.perf_counter()
+        spec = self.spec
         injector = FaultInjector(
             target=spec.target,
             trigger=spec.trigger,
@@ -220,44 +340,26 @@ class Experiment:
             seed=spec.seed,
         )
         injector.reset()
-        try:
-            if spec.scenario is Scenario.STEADY_STATE:
-                evidence, extras = self._run_steady_state(sut, injector)
-            elif spec.scenario is Scenario.LIFECYCLE_UNDER_FAULT:
-                evidence, extras = self._run_lifecycle_under_fault(sut, injector)
-            elif spec.scenario is Scenario.REPEATED_LIFECYCLE:
-                evidence, extras = self._run_repeated_lifecycle(sut, injector)
-            elif spec.scenario is Scenario.PARK_AND_RECOVER:
-                evidence, extras = self._run_park_and_recover(sut, injector)
-            else:  # pragma: no cover - exhaustive enum
-                raise CampaignError(f"unknown scenario {spec.scenario}")
-            classified = self.classifier.classify(evidence)
-        finally:
-            sut.teardown()
+        sut.install_injector(injector)
+        if spec.scenario is Scenario.STEADY_STATE:
+            evidence, extras = self._suffix_steady_state(sut, injector)
+        elif spec.scenario is Scenario.LIFECYCLE_UNDER_FAULT:
+            evidence, extras = self._suffix_lifecycle_under_fault(sut, injector)
+        elif spec.scenario is Scenario.REPEATED_LIFECYCLE:
+            evidence, extras = self._suffix_repeated_lifecycle(sut, injector)
+        elif spec.scenario is Scenario.PARK_AND_RECOVER:
+            evidence, extras = self._suffix_park_and_recover(sut, injector)
+        else:  # pragma: no cover - exhaustive enum
+            raise CampaignError(f"unknown scenario {spec.scenario}")
+        classified = self.classifier.classify(evidence)
         return self._build_result(classified, evidence, injector, extras,
                                   time.perf_counter() - started)
 
-    # -- scenarios -----------------------------------------------------------------------
+    # -- scenario suffixes ----------------------------------------------------------------
 
-    def _run_steady_state(self, sut: SystemUnderTest,
-                          injector: FaultInjector):
+    def _suffix_steady_state(self, sut: SystemUnderTest,
+                             injector: FaultInjector):
         spec = self.spec
-        sut.setup()
-        sut.install_injector(injector)
-        management = sut.perform_cell_lifecycle()
-        if not (management.create_succeeded and management.start_succeeded):
-            raise CampaignError(
-                "golden bring-up failed before injection; the system under "
-                "test is misconfigured"
-            )
-        sut.run(spec.settle_time)
-        pre_check = sut.evidence(0.0, sut.now)
-        if pre_check.observation.panicked or pre_check.observation.inconsistent_cells:
-            raise CampaignError(
-                "golden bring-up left the system panicked or inconsistent "
-                "before any fault was injected; the system under test is "
-                "misconfigured"
-            )
         window_start = sut.now
         injector.arm()
         sut.run(spec.duration)
@@ -267,11 +369,9 @@ class Experiment:
         evidence.management = ManagementEvidence()   # bring-up was fault-free
         return evidence, {}
 
-    def _run_lifecycle_under_fault(self, sut: SystemUnderTest,
-                                   injector: FaultInjector):
+    def _suffix_lifecycle_under_fault(self, sut: SystemUnderTest,
+                                      injector: FaultInjector):
         spec = self.spec
-        sut.setup()
-        sut.install_injector(injector)
         injector.arm()
         window_start = sut.now
         sut.run(spec.warmup_time)
@@ -287,8 +387,8 @@ class Experiment:
         }
         return evidence, extras
 
-    def _run_repeated_lifecycle(self, sut: SystemUnderTest,
-                                injector: FaultInjector):
+    def _suffix_repeated_lifecycle(self, sut: SystemUnderTest,
+                                   injector: FaultInjector):
         """Repeatedly create/start/destroy the non-root cell under injection.
 
         A single management operation is only a handful of handler calls, so a
@@ -297,8 +397,6 @@ class Experiment:
         way the paper's one-minute high-intensity tests do.
         """
         spec = self.spec
-        sut.setup()
-        sut.install_injector(injector)
         injector.arm()
         window_start = sut.now
         sut.run(spec.warmup_time)
@@ -345,15 +443,9 @@ class Experiment:
         }
         return evidence, extras
 
-    def _run_park_and_recover(self, sut: SystemUnderTest,
-                              injector: FaultInjector):
+    def _suffix_park_and_recover(self, sut: SystemUnderTest,
+                                 injector: FaultInjector):
         spec = self.spec
-        sut.setup()
-        sut.install_injector(injector)
-        management = sut.perform_cell_lifecycle()
-        if not management.start_succeeded:
-            raise CampaignError("golden bring-up failed before injection")
-        sut.run(spec.settle_time)
         window_start = sut.now
         injector.arm()
         # Run in slices until a CPU park (or panic) shows up, or time runs out.

@@ -142,6 +142,10 @@ class JailhouseSUT(SystemUnderTest):
         self._pooling = False
         self._pristine: Optional[SutSnapshot] = None
         self._boot_snapshot: Optional[SutSnapshot] = None
+        #: Seed the boot snapshot was captured under. ``config.seed`` can be
+        #: re-stamped by :meth:`fork_from_snapshot` without re-booting, so
+        #: the pair is what tells :meth:`setup` the snapshot is still valid.
+        self._boot_snapshot_seed: Optional[int] = None
 
     # -- setup ---------------------------------------------------------------------------
 
@@ -155,8 +159,13 @@ class JailhouseSUT(SystemUnderTest):
         boot path.
         """
         if self._boot_snapshot is not None:
-            self.restore(self._boot_snapshot)
-            return
+            if self._boot_snapshot_seed == self.config.seed:
+                self.restore(self._boot_snapshot)
+                return
+            # The boot snapshot belongs to another seed: the prefix cache
+            # forked this SUT across families since it was captured. Rewind
+            # to the pristine state and cold-boot for the current seed.
+            self.reset_for_seed(self.config.seed)
         self.board.power_on()
         system_config = bananapi_system_config()
         result = self.cli.enable(system_config)
@@ -169,6 +178,7 @@ class JailhouseSUT(SystemUnderTest):
         self._log_collector.start(self.board.clock.now)
         if self._pooling:
             self._boot_snapshot = self.snapshot()
+            self._boot_snapshot_seed = self.config.seed
 
     # -- snapshot / restore / pooling ------------------------------------------------------
 
@@ -201,6 +211,25 @@ class JailhouseSUT(SystemUnderTest):
         self._lifecycle_done = snapshot.lifecycle_done
         self.injectors.clear()
 
+    def fork_from_snapshot(self, snapshot: SutSnapshot, *,
+                           seed: Optional[int] = None) -> None:
+        """Rewind to ``snapshot`` to run another fault variant from it.
+
+        The prefix fast-forward path executes one golden bring-up per prefix
+        family, snapshots the deployment at the injection point, and forks
+        every variant of that family from the snapshot instead of re-running
+        the bring-up. Restoring is in place (the snapshot must have been
+        taken on this SUT's object graph) and leaves no injector installed.
+
+        ``seed`` re-stamps :attr:`SutConfig.seed`, which is construction
+        metadata and not part of the snapshot; the RNG streams themselves are
+        restored bit-exactly from the snapshot, so a forked run replays the
+        exact draws a cold boot with that seed would make.
+        """
+        self.restore(snapshot)
+        if seed is not None:
+            self.config.seed = seed
+
     def enable_snapshot_pooling(self) -> None:
         """Opt this SUT into snapshot/reset pooling (used by the engine).
 
@@ -225,6 +254,7 @@ class JailhouseSUT(SystemUnderTest):
             raise CampaignError("snapshot pooling is not enabled on this SUT")
         self.restore(self._pristine)
         self._boot_snapshot = None
+        self._boot_snapshot_seed = None
         self.config.seed = seed
         self.linux.rng = np.random.default_rng(seed)
         self.freertos.rng = np.random.default_rng(seed + 1)

@@ -30,6 +30,11 @@ class AggregateSnapshot:
     failures: int
     injections: int
     elapsed: float
+    #: Prefix fast-forward counters: experiments forked from a cached
+    #: pre-injection snapshot vs. ones that executed (and cached) their
+    #: family's prefix. Both stay 0 when the cache is off or bypassed.
+    prefix_hits: int = 0
+    prefix_misses: int = 0
 
     @property
     def executed(self) -> int:
@@ -47,12 +52,15 @@ class AggregateSnapshot:
 
     def format_line(self) -> str:
         """One-line progress summary for CLI output."""
-        return (
+        line = (
             f"[{self.completed:>4}/{self.total}] "
             f"failure rate {self.failure_rate:6.1%}, "
             f"{self.injections} injections, "
             f"{self.throughput:5.1f} tests/s"
         )
+        if self.prefix_hits or self.prefix_misses:
+            line += f", prefix cache {self.prefix_hits}h/{self.prefix_misses}m"
+        return line
 
 
 #: Engine progress callback: called once per completed experiment with the
@@ -69,6 +77,8 @@ class LiveAggregator:
         self.resumed = 0
         self.failures = 0
         self.injections = 0
+        self.prefix_hits = 0
+        self.prefix_misses = 0
         self.outcome_counts: Dict[str, int] = {
             outcome.value: 0 for outcome in Outcome
         }
@@ -83,6 +93,10 @@ class LiveAggregator:
         self.completed += 1
         self.failures += 1 if result.failed else 0
         self.injections += result.injections
+        if result.prefix_cache_hit is True:
+            self.prefix_hits += 1
+        elif result.prefix_cache_hit is False:
+            self.prefix_misses += 1
         self.outcome_counts[result.outcome.value] = (
             self.outcome_counts.get(result.outcome.value, 0) + 1
         )
@@ -97,4 +111,6 @@ class LiveAggregator:
             failures=self.failures,
             injections=self.injections,
             elapsed=time.perf_counter() - self._started,
+            prefix_hits=self.prefix_hits,
+            prefix_misses=self.prefix_misses,
         )

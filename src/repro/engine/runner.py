@@ -35,8 +35,17 @@ from repro.core.plan import TestPlan
 from repro.core.registry import resolve_sut_factory
 from repro.engine.aggregate import EngineProgress, LiveAggregator
 from repro.engine.checkpoint import Checkpoint
-from repro.engine.scheduler import build_work_queue
-from repro.engine.workers import execute_pool, execute_serial, resolve_jobs
+from repro.engine.scheduler import (
+    build_work_queue,
+    normalize_chunk_size,
+    suggest_chunk_size,
+)
+from repro.engine.workers import (
+    DEFAULT_PREFIX_CACHE_SIZE,
+    execute_pool,
+    execute_serial,
+    resolve_jobs,
+)
 from repro.errors import CampaignError
 
 
@@ -49,8 +58,10 @@ class CampaignEngine:
                  classifier: Optional[OutcomeClassifier] = None,
                  checkpoint_path: Optional[str] = None,
                  resume: bool = False,
-                 chunk_size: Optional[int] = None,
+                 chunk_size: "int | str | None" = None,
                  pooling: bool = False,
+                 prefix_cache: bool = False,
+                 prefix_cache_size: int = DEFAULT_PREFIX_CACHE_SIZE,
                  progress: Optional[EngineProgress] = None) -> None:
         plan.validate()
         if resume and checkpoint_path is None:
@@ -65,12 +76,26 @@ class CampaignEngine:
             Checkpoint(checkpoint_path) if checkpoint_path is not None else None
         )
         self.resume = resume
-        self.chunk_size = chunk_size
+        #: Pool-task granularity: a positive int, ``None`` (= 1, stream every
+        #: completion immediately), or ``"auto"`` to size tasks from the
+        #: still-to-run queue via :func:`~repro.engine.scheduler.
+        #: suggest_chunk_size`.
+        self.chunk_size = normalize_chunk_size(chunk_size)
+        #: Prefix fast-forward: execute each distinct pre-injection prefix
+        #: once, snapshot it, and fork every fault variant of that prefix
+        #: family from the snapshot. Record-for-record identical to cold
+        #: execution (see the prefix parity tests); ``cold_boot=True`` specs
+        #: opt out here too.
+        self.prefix_cache = prefix_cache
         #: Snapshot/reset pooling: each worker keeps one system under test
         #: alive and restores it between experiments instead of rebuilding.
         #: Outcomes are identical either way (see the campaign-parity tests);
-        #: specs can opt out individually with ``cold_boot=True``.
-        self.pooling = pooling
+        #: specs can opt out individually with ``cold_boot=True``. The prefix
+        #: cache implies pooling — without it every family miss would build a
+        #: fresh SUT and the LRU would pin one whole object graph per entry,
+        #: whereas a pooled worker's entries all share its single SUT.
+        self.pooling = pooling or prefix_cache
+        self.prefix_cache_size = prefix_cache_size
         self.progress = progress
 
     def run(self) -> CampaignResult:
@@ -106,13 +131,19 @@ class CampaignEngine:
 
         queue = build_work_queue(self.plan, skip_indices=skip)
         specs_by_index = {item.index: item.spec for item in queue}
+        chunk_size = self.chunk_size
+        if chunk_size == "auto":
+            chunk_size = suggest_chunk_size(len(queue), self.jobs)
         if self.jobs == 1:
             stream = execute_serial(queue, self.sut_factory, self.classifier,
-                                    self.pooling)
+                                    self.pooling, self.prefix_cache,
+                                    self.prefix_cache_size)
         else:
             stream = execute_pool(queue, self.jobs, self.sut_factory,
-                                  self.classifier, chunk_size=self.chunk_size,
-                                  pooling=self.pooling)
+                                  self.classifier, chunk_size=chunk_size,
+                                  pooling=self.pooling,
+                                  prefix_cache=self.prefix_cache,
+                                  prefix_cache_size=self.prefix_cache_size)
 
         for index, result in stream:
             slots[index] = result

@@ -15,7 +15,7 @@ workers ran it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Set
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from repro.core.experiment import ExperimentSpec
 from repro.core.plan import TestPlan
@@ -98,6 +98,109 @@ def shard_for_pool(items: Sequence[WorkItem],
         return []
     num_tasks = (len(items) + chunk_size - 1) // chunk_size
     return shard_work(items, num_tasks)
+
+
+@dataclass(frozen=True)
+class PrefixFamily:
+    """All queued work items that share one pre-injection prefix.
+
+    Every spec in a family executes the identical golden bring-up before the
+    injector is armed (same :meth:`~repro.core.experiment.ExperimentSpec.
+    prefix_key`), so a worker that owns the whole family pays that prefix
+    exactly once and forks the fault variants from its snapshot.
+    """
+
+    key: str
+    items: Tuple[WorkItem, ...]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+def group_by_prefix(items: Sequence[WorkItem], *,
+                    sut_token: str = "") -> List[PrefixFamily]:
+    """Group the queue into prefix families, in first-appearance order.
+
+    Grouping is fully determined by the queue: families appear in the order
+    their first member does, and members keep their relative queue order —
+    no randomness, no timing, so repeated runs schedule identically.
+    Specs opting out of snapshot reuse (``cold_boot=True``) are isolated
+    into singleton families keyed by their plan position, so they never
+    share (or populate) a snapshot.
+    """
+    buckets: Dict[str, List[WorkItem]] = {}
+    order: List[str] = []
+    for item in items:
+        key = item.spec.prefix_key(sut=sut_token)
+        if item.spec.cold_boot:
+            key = f"{key}!cold@{item.index}"
+        bucket = buckets.get(key)
+        if bucket is None:
+            bucket = buckets[key] = []
+            order.append(key)
+        bucket.append(item)
+    return [PrefixFamily(key=key, items=tuple(buckets[key])) for key in order]
+
+
+def shard_families(families: Sequence[PrefixFamily], chunk_size: int = 1,
+                   min_shards: int = 1) -> List[Shard]:
+    """Turn pre-grouped prefix families into pool tasks.
+
+    The pool hands tasks out round-robin over the family sequence, so one
+    worker owns a family end to end and pays its prefix once. ``chunk_size``
+    greater than one merges consecutive small families into one task until
+    the item count reaches it, trading checkpoint granularity for dispatch
+    overhead exactly like :func:`shard_for_pool` does for chunks.
+
+    ``min_shards`` (the worker count) guards against the opposite problem:
+    fewer families than workers would silently idle the surplus workers, so
+    the largest tasks are bisected until there are enough — a family slice
+    re-pays the prefix once per worker that got a piece, which is still far
+    cheaper than running a many-variant family serially.
+    """
+    if chunk_size <= 0:
+        raise CampaignError(f"chunk size must be positive, got {chunk_size}")
+    tasks: List[List[WorkItem]] = []
+    current: List[WorkItem] = []
+    for family in families:
+        current.extend(family.items)
+        if len(current) >= chunk_size:
+            tasks.append(current)
+            current = []
+    if current:
+        tasks.append(current)
+    while tasks and len(tasks) < min_shards:
+        largest = max(range(len(tasks)), key=lambda index: len(tasks[index]))
+        task = tasks[largest]
+        if len(task) < 2:
+            break                        # nothing left worth splitting
+        middle = len(task) // 2
+        tasks[largest:largest + 1] = [task[:middle], task[middle:]]
+    return [Shard(shard_index=index, items=tuple(task))
+            for index, task in enumerate(tasks)]
+
+
+def normalize_chunk_size(value) -> "int | str | None":
+    """Validate a chunk-size selector and return it unchanged.
+
+    The one rule every front-end shares: ``None`` (engine default of one
+    experiment per task), a positive ``int``, or the string ``"auto"``
+    (sized from the queue via :func:`suggest_chunk_size`). Anything else —
+    including ``bool``, which is an ``int`` subclass — raises
+    :class:`~repro.errors.CampaignError`; callers with their own error
+    vocabulary (config files, CLI) re-wrap it.
+    """
+    if value is None or value == "auto":
+        return value
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise CampaignError(
+            f"chunk size must be a positive integer or 'auto', got {value!r}"
+        )
+    if value <= 0:
+        raise CampaignError(
+            f"chunk size must be positive (or 'auto'), got {value}"
+        )
+    return value
 
 
 def suggest_chunk_size(num_items: int, jobs: int) -> int:

@@ -25,6 +25,9 @@ from __future__ import annotations
 import multiprocessing
 import os
 import sys
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.experiment import (
@@ -35,11 +38,21 @@ from repro.core.experiment import (
 )
 from repro.core.outcomes import OutcomeClassifier
 from repro.core.registry import resolve_sut_factory
-from repro.engine.scheduler import WorkItem, shard_for_pool
+from repro.engine.scheduler import (
+    WorkItem,
+    group_by_prefix,
+    shard_families,
+    shard_for_pool,
+)
 from repro.errors import CampaignError
 
 #: One streamed unit of completed work: (position in the plan, its result).
 IndexedResult = Tuple[int, ExperimentResult]
+
+#: Default per-process capacity of the prefix-snapshot LRU. With the
+#: family-aware schedules each family is live for one contiguous stretch, so
+#: a handful of slots absorbs any interleaving the chunk merging introduces.
+DEFAULT_PREFIX_CACHE_SIZE = 8
 
 # Per-worker-process state, populated once by the pool initializer so chunk
 # payloads stay small (specs only, no factory/classifier per task).
@@ -89,28 +102,183 @@ def _factory_for_spec(spec, sut_factory: SutFactory) -> SutFactory:
     return sut_factory
 
 
+def sut_token(sut_factory: SutFactory) -> str:
+    """Deterministic identity of a SUT factory for prefix-key derivation.
+
+    Registry-backed factories hash by key + params (stable across processes
+    and runs); ad-hoc callables fall back to their qualified name. The token
+    only has to separate *different* SUT definitions within one process —
+    the prefix cache itself never outlives a campaign.
+    """
+    if isinstance(sut_factory, PooledSutFactory):
+        return sut_token(sut_factory.base)
+    key = getattr(sut_factory, "key", None)
+    if key is not None:
+        params = getattr(sut_factory, "params", {})
+        return f"{key}:{sorted(params.items())!r}"
+    qualname = getattr(sut_factory, "__qualname__", None)
+    return qualname or type(sut_factory).__name__
+
+
+@dataclass
+class _PrefixCacheEntry:
+    """One cached pre-injection state: the SUT it belongs to + its snapshot."""
+
+    sut: object
+    snapshot: object
+
+
+class PrefixSnapshotCache:
+    """Bounded per-process LRU of post-prefix SUT snapshots.
+
+    One entry per prefix family: the snapshot of the deployment at the
+    injection point, plus the SUT object graph it was captured on (snapshots
+    restore in place, so they are only valid on their own graph — with
+    pooling every entry shares the process's single SUT; without pooling
+    each miss builds its own). The campaign-level hit/miss aggregates come
+    from :attr:`ExperimentResult.prefix_cache_hit` (the cache lives inside
+    worker processes); the counters here are per-process introspection for
+    tests and debugging.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_PREFIX_CACHE_SIZE, *,
+                 sut_token: str = "",
+                 shareable_keys: Optional[frozenset] = None) -> None:
+        if capacity <= 0:
+            raise CampaignError(
+                f"prefix cache capacity must be positive, got {capacity}"
+            )
+        self.capacity = capacity
+        self.sut_token = sut_token
+        #: Keys whose family has more than one member. ``None`` means
+        #: unknown (cache everything); with the set present, singleton
+        #: families skip the snapshot capture entirely — a snapshot nobody
+        #: will ever fork from is pure overhead.
+        self.shareable_keys = shareable_keys
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.bypasses = 0
+        self._entries: "OrderedDict[str, _PrefixCacheEntry]" = OrderedDict()
+
+    def worth_caching(self, key: str) -> bool:
+        return self.shareable_keys is None or key in self.shareable_keys
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[_PrefixCacheEntry]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, sut: object, snapshot: object) -> None:
+        self._entries[key] = _PrefixCacheEntry(sut=sut, snapshot=snapshot)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+
+def _supports_prefix_forking(sut: object) -> bool:
+    return (getattr(sut, "snapshot", None) is not None
+            and getattr(sut, "fork_from_snapshot", None) is not None)
+
+
+def _run_item_prefix_cached(experiment: Experiment,
+                            cache: PrefixSnapshotCache) -> ExperimentResult:
+    """Run one experiment through the prefix fast-forward cache.
+
+    Cache hit: fork the worker's SUT from the family's post-prefix snapshot
+    and run only the injection suffix. Cache miss: execute the prefix once,
+    snapshot it for the rest of the family, then run the suffix. SUTs that
+    cannot snapshot (baseline models) bypass the cache with a plain cold run.
+    """
+    spec = experiment.spec
+    started = time.perf_counter()
+    key = spec.prefix_key(sut=cache.sut_token)
+    entry = cache.get(key)
+    if entry is None:
+        sut = experiment.sut_factory(spec.seed)
+        if not _supports_prefix_forking(sut):
+            cache.misses -= 1           # not a real miss: the SUT can't cache
+            cache.bypasses += 1
+            try:
+                experiment.run_prefix(sut)
+                return experiment.run_from_snapshot(sut, wall_start=started)
+            finally:
+                sut.teardown()
+        hit = False
+    else:
+        sut = entry.sut
+        hit = True
+    try:
+        if hit:
+            sut.fork_from_snapshot(entry.snapshot, seed=spec.seed)
+        else:
+            experiment.run_prefix(sut)
+            if cache.worth_caching(key):
+                cache.put(key, sut, sut.snapshot())
+        result = experiment.run_from_snapshot(sut, wall_start=started)
+    finally:
+        sut.teardown()
+    result.prefix_cache_hit = hit
+    return result
+
+
+def shareable_keys_of(families) -> frozenset:
+    """Prefix keys that more than one queued spec shares.
+
+    Only these are worth snapshotting: a singleton family's snapshot would
+    never be forked from, so capturing it (and pinning its SUT in the LRU)
+    is pure overhead — e.g. the CLI ``fig3``/``campaign`` plans give every
+    spec its own seed, making every family a singleton.
+    """
+    return frozenset(family.key for family in families
+                     if len(family.items) > 1)
+
+
 def _init_worker(sut_factory: SutFactory,
                  classifier: Optional[OutcomeClassifier],
-                 pooling: bool = False) -> None:
+                 pooling: bool = False,
+                 prefix_cache: bool = False,
+                 prefix_cache_size: int = DEFAULT_PREFIX_CACHE_SIZE,
+                 shareable_keys: Optional[frozenset] = None) -> None:
     if pooling:
         sut_factory = PooledSutFactory(sut_factory)
     _WORKER_STATE["sut_factory"] = sut_factory
     _WORKER_STATE["classifier"] = classifier or OutcomeClassifier()
+    _WORKER_STATE["prefix_cache"] = (
+        PrefixSnapshotCache(prefix_cache_size,
+                            sut_token=sut_token(sut_factory),
+                            shareable_keys=shareable_keys)
+        if prefix_cache else None
+    )
 
 
 def _run_item(item: WorkItem, sut_factory: SutFactory,
-              classifier: OutcomeClassifier) -> IndexedResult:
+              classifier: OutcomeClassifier,
+              prefix_cache: Optional[PrefixSnapshotCache] = None,
+              ) -> IndexedResult:
     experiment = Experiment(item.spec,
                             sut_factory=_factory_for_spec(item.spec, sut_factory),
                             classifier=classifier)
-    return item.index, experiment.run()
+    if prefix_cache is None or item.spec.cold_boot:
+        return item.index, experiment.run()
+    return item.index, _run_item_prefix_cached(experiment, prefix_cache)
 
 
 def _run_chunk(chunk: Sequence[WorkItem]) -> List[IndexedResult]:
     """Pool task: run one chunk inside a worker process."""
     sut_factory = _WORKER_STATE["sut_factory"]
     classifier = _WORKER_STATE["classifier"]
-    return [_run_item(item, sut_factory, classifier) for item in chunk]
+    prefix_cache = _WORKER_STATE.get("prefix_cache")
+    return [_run_item(item, sut_factory, classifier, prefix_cache)
+            for item in chunk]
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -136,14 +304,30 @@ def execute_serial(items: Sequence[WorkItem],
                    sut_factory: "SutFactory | str" = default_sut_factory,
                    classifier: Optional[OutcomeClassifier] = None,
                    pooling: bool = False,
+                   prefix_cache: bool = False,
+                   prefix_cache_size: int = DEFAULT_PREFIX_CACHE_SIZE,
                    ) -> Iterator[IndexedResult]:
-    """Run every item in queue order in this process (the ``jobs=1`` backend)."""
+    """Run every item in queue order in this process (the ``jobs=1`` backend).
+
+    With ``prefix_cache`` the queue is first reordered family-contiguously
+    (results carry their plan index, so consumers are order-agnostic) and a
+    bounded LRU of post-prefix snapshots serves every follow-up member of a
+    family without re-running its golden bring-up.
+    """
     classifier = classifier or OutcomeClassifier()
     sut_factory = resolve_sut_factory(sut_factory)
     if pooling:
         sut_factory = PooledSutFactory(sut_factory)
+    cache = None
+    if prefix_cache:
+        token = sut_token(sut_factory)
+        families = group_by_prefix(items, sut_token=token)
+        cache = PrefixSnapshotCache(
+            prefix_cache_size, sut_token=token,
+            shareable_keys=shareable_keys_of(families))
+        items = [item for family in families for item in family.items]
     for item in items:
-        yield _run_item(item, sut_factory, classifier)
+        yield _run_item(item, sut_factory, classifier, cache)
 
 
 def execute_pool(items: Sequence[WorkItem],
@@ -152,38 +336,70 @@ def execute_pool(items: Sequence[WorkItem],
                  classifier: Optional[OutcomeClassifier] = None,
                  chunk_size: Optional[int] = None,
                  pooling: bool = False,
+                 prefix_cache: bool = False,
+                 prefix_cache_size: int = DEFAULT_PREFIX_CACHE_SIZE,
                  ) -> Iterator[IndexedResult]:
     """Run items across ``jobs`` worker processes, streaming completions.
 
     Results are yielded as chunks finish (arbitrary order); callers that need
-    plan order re-assemble by index. The pool is torn down before the iterator
-    is exhausted returns, so a consumer that stops early still releases the
-    workers.
+    plan order re-assemble by index. On clean exhaustion the pool is closed
+    and joined (workers finish their current chunk and exit); an early exit
+    or exception terminates it instead, so a consumer that stops mid-stream
+    still releases the workers promptly.
 
     ``chunk_size`` defaults to 1: every completed experiment streams back (and
     checkpoints) immediately, which is what the paper's minute-long tests
     need. Pass a larger value (see
     :func:`~repro.engine.scheduler.suggest_chunk_size`) only when experiments
     are so short that per-task dispatch overhead dominates.
+
+    With ``prefix_cache`` the queue is sharded into whole prefix families
+    (:func:`~repro.engine.scheduler.shard_families`) instead of round-robin
+    chunks, so the worker that pulls a family pays its golden bring-up once
+    and forks every fault variant from the snapshot. A family is one pool
+    task, so streaming (and checkpoint) granularity becomes the family even
+    at ``chunk_size=1`` — a run killed mid-family re-executes that family's
+    completed variants on resume, trading a little checkpoint granularity
+    for never re-paying a prefix.
     """
     jobs = resolve_jobs(jobs)
     sut_factory = resolve_sut_factory(sut_factory)
     if jobs == 1 or len(items) <= 1:
-        yield from execute_serial(items, sut_factory, classifier, pooling)
+        yield from execute_serial(items, sut_factory, classifier, pooling,
+                                  prefix_cache, prefix_cache_size)
         return
     size = chunk_size or 1
-    shards = shard_for_pool(items, size)
+    shareable = None
+    if prefix_cache:
+        token = sut_token(sut_factory)
+        families = group_by_prefix(items, sut_token=token)
+        # min_shards keeps the pool busy when there are fewer families than
+        # workers: oversized families are sliced, each slice re-paying the
+        # prefix once in its worker.
+        shards = shard_families(families, size, min_shards=jobs)
+        shareable = shareable_keys_of(families)
+    else:
+        shards = shard_for_pool(items, size)
     context = _pool_context()
     pool = context.Pool(
         processes=min(jobs, len(shards)),
         initializer=_init_worker,
-        initargs=(sut_factory, classifier, pooling),
+        initargs=(sut_factory, classifier, pooling,
+                  prefix_cache, prefix_cache_size, shareable),
     )
+    completed = False
     try:
         tasks = [shard.items for shard in shards]
         for chunk_results in pool.imap_unordered(_run_chunk, tasks):
             for indexed in chunk_results:
                 yield indexed
+        completed = True
     finally:
-        pool.terminate()
+        if completed:
+            # Clean exhaustion: let the workers wind down instead of killing
+            # them mid-teardown (terminate() can leak semaphores and skips
+            # worker cleanup handlers).
+            pool.close()
+        else:
+            pool.terminate()
         pool.join()

@@ -236,3 +236,57 @@ class TestRunAndList:
                          "nonroot-trap", "catalog", "linux", "freertos",
                          "paper"):
             assert expected in out
+
+
+class TestPrefixCacheAndChunkSizeFlags:
+    def test_prefix_cache_flag_reports_counters(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "campaign", "--tests", "2", "--duration", "2",
+            "--prefix-cache",
+        )
+        assert code == 0
+        assert "prefix cache:" in out
+        assert "misses" in out
+
+    def test_no_prefix_cache_overrides_a_config_that_enables_it(
+            self, capsys, tmp_path):
+        config = tmp_path / "cached.toml"
+        config.write_text(
+            '[campaign]\nname = "cached"\nintensity = "medium"\n'
+            'tests = 2\nduration = 2.0\nprefix_cache = true\n'
+            '[[target]]\nkind = "nonroot-trap"\n'
+        )
+        code, out, _ = run_cli(capsys, "run", str(config))
+        assert code == 0
+        assert "prefix cache:" in out
+        code, out, _ = run_cli(capsys, "run", str(config),
+                               "--no-prefix-cache")
+        assert code == 0
+        assert "prefix cache:" not in out
+
+    def test_chunk_size_accepts_auto_and_integers(self, capsys):
+        for value in ("auto", "2"):
+            code, _, _ = run_cli(
+                capsys, "campaign", "--tests", "2", "--duration", "2",
+                "--jobs", "2", "--chunk-size", value,
+            )
+            assert code == 0
+
+    def test_chunk_size_rejects_garbage_without_a_traceback(self, capsys):
+        code, _, err = run_cli(
+            capsys, "campaign", "--tests", "2", "--duration", "2",
+            "--chunk-size", "lots",
+        )
+        assert code == 2
+        assert "--chunk-size" in err
+
+    def test_config_chunk_size_is_validated(self, capsys, tmp_path):
+        config = tmp_path / "badchunk.toml"
+        config.write_text(
+            '[campaign]\nname = "badchunk"\nintensity = "medium"\n'
+            'chunk_size = "sometimes"\n'
+            '[[target]]\nkind = "nonroot-trap"\n'
+        )
+        code, _, err = run_cli(capsys, "run", str(config))
+        assert code == 2
+        assert "chunk_size" in err

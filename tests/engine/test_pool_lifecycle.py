@@ -1,0 +1,69 @@
+"""Worker-pool teardown discipline of :func:`execute_pool`.
+
+Clean exhaustion must wind the pool down with ``close()`` + ``join()`` —
+``terminate()`` kills workers mid-teardown and can leak multiprocessing
+resources — while an early exit (consumer stops, exception propagates) must
+still ``terminate()`` promptly so no worker outlives its stream.
+"""
+
+from repro.core.plan import paper_figure3_plan
+from repro.engine import workers
+from repro.engine.scheduler import build_work_queue
+from repro.engine.workers import execute_pool
+
+
+class RecordingPool:
+    """Wraps a real multiprocessing pool and records lifecycle calls."""
+
+    def __init__(self, pool, calls):
+        self._pool = pool
+        self.calls = calls
+
+    def imap_unordered(self, fn, tasks):
+        return self._pool.imap_unordered(fn, tasks)
+
+    def close(self):
+        self.calls.append("close")
+        self._pool.close()
+
+    def terminate(self):
+        self.calls.append("terminate")
+        self._pool.terminate()
+
+    def join(self):
+        self.calls.append("join")
+        self._pool.join()
+
+
+class RecordingContext:
+    def __init__(self, context, calls):
+        self._context = context
+        self.calls = calls
+
+    def Pool(self, *args, **kwargs):
+        return RecordingPool(self._context.Pool(*args, **kwargs), self.calls)
+
+
+def patched_queue_and_calls(monkeypatch):
+    calls = []
+    real_context = workers._pool_context()
+    monkeypatch.setattr(workers, "_pool_context",
+                        lambda: RecordingContext(real_context, calls))
+    plan = paper_figure3_plan(num_tests=4, duration=1.0)
+    return build_work_queue(plan), calls
+
+
+class TestPoolTeardown:
+    def test_clean_exhaustion_closes_instead_of_terminating(self, monkeypatch):
+        queue, calls = patched_queue_and_calls(monkeypatch)
+        results = list(execute_pool(queue, jobs=2))
+        assert len(results) == 4
+        assert sorted(index for index, _ in results) == [0, 1, 2, 3]
+        assert calls == ["close", "join"]
+
+    def test_early_exit_terminates(self, monkeypatch):
+        queue, calls = patched_queue_and_calls(monkeypatch)
+        stream = execute_pool(queue, jobs=2)
+        next(stream)
+        stream.close()                       # consumer walks away mid-stream
+        assert calls == ["terminate", "join"]

@@ -1,0 +1,394 @@
+"""Prefix fast-forward: parity, families, LRU behaviour, opt-outs.
+
+The contract of the subsystem is absolute: a campaign run with the prefix
+cache on must be record-for-record identical to cold execution — the cache
+may only change *when* the golden bring-up executes, never what any
+experiment observes.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.campaign import Campaign
+from repro.core.config import CampaignConfig, PartRef, catalog_config
+from repro.core.experiment import ExperimentSpec, Scenario, SingleBitFlip
+from repro.core.plan import TestPlan, paper_figure3_plan
+from repro.core.targets import InjectionTarget
+from repro.core.triggers import EveryNCalls, OneShotAtCall
+from repro.engine import CampaignEngine
+from repro.engine.scheduler import (
+    build_work_queue,
+    group_by_prefix,
+    shard_families,
+)
+from repro.engine.workers import PrefixSnapshotCache, shareable_keys_of
+from repro.errors import CampaignError
+
+
+def records_of(result):
+    return [dataclasses.asdict(record) for record in result.to_records()]
+
+
+def shared_prefix_config(*, tests: int = 2, variants: int = 3,
+                         duration: float = 1.0,
+                         settle: float = 2.0) -> CampaignConfig:
+    """A grid whose fault-model axis fans each seed into a prefix family."""
+    fault_models = [
+        PartRef("single-bit-flip", tag="sbf"),
+        PartRef("multi-register-bit-flip", {"count": 2}, tag="mr2"),
+        PartRef("register-class-bit-flip", {"target_class": "sp"}, tag="sp"),
+        PartRef("register-class-bit-flip", {"target_class": "pc"}, tag="pc"),
+    ][:variants]
+    return CampaignConfig(
+        name="prefix-shared",
+        targets=[PartRef("nonroot-trap")],
+        triggers=[PartRef("every-n-calls", {"n": 60}, tag="t60")],
+        fault_models=fault_models,
+        scenarios=["steady-state"],
+        tests=tests,
+        duration=duration,
+        settle_time=settle,
+        intensity="medium",
+    )
+
+
+class TestPrefixKey:
+    def spec(self, **overrides) -> ExperimentSpec:
+        payload = dict(
+            name="base",
+            target=InjectionTarget.nonroot_cpu_trap(),
+            trigger=EveryNCalls(100),
+            fault_model=SingleBitFlip(),
+            scenario=Scenario.STEADY_STATE,
+            duration=10.0,
+            seed=3,
+        )
+        payload.update(overrides)
+        return ExperimentSpec(**payload)
+
+    def test_injection_axes_do_not_split_families(self):
+        base = self.spec()
+        variants = [
+            self.spec(name="other-name"),
+            self.spec(trigger=EveryNCalls(7)),
+            self.spec(trigger=OneShotAtCall(5)),
+            self.spec(fault_model=SingleBitFlip(), intensity="high"),
+            self.spec(target=InjectionTarget.hvc_and_trap(cpus=[0])),
+            self.spec(duration=99.0),
+        ]
+        for variant in variants:
+            assert variant.prefix_key() == base.prefix_key()
+
+    def test_prefix_determinants_split_families(self):
+        base = self.spec()
+        assert self.spec(seed=4).prefix_key() != base.prefix_key()
+        assert (self.spec(scenario=Scenario.PARK_AND_RECOVER).prefix_key()
+                != base.prefix_key())
+        assert self.spec(settle_time=2.5).prefix_key() != base.prefix_key()
+        assert base.prefix_key(sut="bao-like") != base.prefix_key()
+
+    def test_lifecycle_prefix_ignores_settle_and_observe(self):
+        # The lifecycle scenarios arm right after setup: their prefix is the
+        # bare boot, so post-arm timing must not split the family.
+        base = self.spec(scenario=Scenario.LIFECYCLE_UNDER_FAULT)
+        same = self.spec(scenario=Scenario.LIFECYCLE_UNDER_FAULT,
+                         settle_time=9.0, observe_time=5.0, warmup_time=0.5)
+        assert base.prefix_key() == same.prefix_key()
+
+    def test_both_lifecycle_scenarios_share_one_family(self):
+        # Their prefixes are literally the same code path (bare setup), so
+        # one boot snapshot serves both scenarios of a seed.
+        lifecycle = self.spec(scenario=Scenario.LIFECYCLE_UNDER_FAULT)
+        repeated = self.spec(scenario=Scenario.REPEATED_LIFECYCLE)
+        assert lifecycle.prefix_key() == repeated.prefix_key()
+        # Steady-state and park-and-recover validate their golden runs
+        # differently, so they stay separate despite similar bring-ups.
+        steady = self.spec(scenario=Scenario.STEADY_STATE)
+        park = self.spec(scenario=Scenario.PARK_AND_RECOVER)
+        assert steady.prefix_key() != park.prefix_key()
+
+    def test_key_is_stable_across_processes(self):
+        # A bare hash of attribute values, no id()/repr() leakage.
+        assert self.spec().prefix_key() == self.spec().prefix_key()
+        assert len(self.spec().prefix_key()) == 16
+
+
+class TestSchedulerFamilies:
+    def queue(self, config=None):
+        config = config or shared_prefix_config(tests=2, variants=3)
+        return build_work_queue(config.compile())
+
+    def test_group_by_prefix_groups_seed_families(self):
+        families = group_by_prefix(self.queue())
+        assert [len(family) for family in families] == [3, 3]
+        for family in families:
+            seeds = {item.spec.seed for item in family.items}
+            assert len(seeds) == 1
+
+    def test_grouping_keeps_first_appearance_order(self):
+        queue = self.queue()
+        families = group_by_prefix(queue)
+        first_indices = [family.items[0].index for family in families]
+        assert first_indices == sorted(first_indices)
+
+    def test_families_partition_the_queue(self):
+        # The serial backend executes the flattened family list; it must be
+        # a permutation of the queue (nothing lost, nothing duplicated).
+        queue = self.queue()
+        flattened = [item for family in group_by_prefix(queue)
+                     for item in family.items]
+        assert sorted(item.index for item in flattened) == [
+            item.index for item in queue
+        ]
+
+    def test_cold_boot_specs_get_singleton_families(self):
+        # The grid compiles combo-major, so the queue interleaves the two
+        # seed families; marking item 0 cold_boot splits it out alone.
+        queue = self.queue()
+        queue[0].spec.cold_boot = True
+        families = group_by_prefix(queue)
+        assert [len(family) for family in families] == [1, 3, 2]
+        assert len(families[0]) == 1 and families[0].items[0].index == 0
+
+    def test_shard_families_never_splits_a_family_by_default(self):
+        families = group_by_prefix(self.queue())
+        shards = shard_families(families, 1)
+        assert [len(shard) for shard in shards] == [3, 3]
+        merged = shard_families(families, 4)
+        assert [len(shard) for shard in merged] == [6]
+
+    def test_shard_families_rejects_bad_chunk_size(self):
+        with pytest.raises(CampaignError):
+            shard_families(group_by_prefix(self.queue()), 0)
+
+    def test_min_shards_splits_large_families_to_feed_the_pool(self):
+        # 2 families of 3 but 4 workers: the largest tasks are bisected so
+        # no worker idles; every item survives exactly once.
+        queue = self.queue()
+        shards = shard_families(group_by_prefix(queue), 1, min_shards=4)
+        assert len(shards) == 4
+        flattened = sorted(item.index for shard in shards
+                           for item in shard.items)
+        assert flattened == [item.index for item in queue]
+        # Splitting stops when only singletons remain.
+        tiny = shard_families(group_by_prefix(queue[:2]), 1, min_shards=8)
+        assert all(len(shard) == 1 for shard in tiny)
+
+    def test_shareable_keys_exclude_singletons(self):
+        assert len(shareable_keys_of(group_by_prefix(self.queue()))) == 2
+        singles = build_work_queue(paper_figure3_plan(num_tests=3,
+                                                      duration=2.0))
+        assert shareable_keys_of(group_by_prefix(singles)) == frozenset()
+
+
+class TestPrefixCacheLru:
+    def test_eviction_is_least_recently_used(self):
+        cache = PrefixSnapshotCache(2)
+        cache.put("a", sut="SA", snapshot=1)
+        cache.put("b", sut="SB", snapshot=2)
+        assert cache.get("a").snapshot == 1      # refresh a
+        cache.put("c", sut="SC", snapshot=3)
+        assert cache.evictions == 1
+        assert cache.get("b") is None            # b was the LRU victim
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+
+    def test_counters(self):
+        cache = PrefixSnapshotCache(4)
+        assert cache.get("missing") is None
+        cache.put("k", sut=None, snapshot=None)
+        cache.get("k")
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(CampaignError):
+            PrefixSnapshotCache(0)
+
+    def test_singleton_families_are_not_snapshotted(self):
+        # A snapshot nobody will fork from is pure overhead: with the
+        # shareable-key set present, lone-family keys skip cache.put.
+        cache = PrefixSnapshotCache(4, shareable_keys=frozenset({"shared"}))
+        assert cache.worth_caching("shared")
+        assert not cache.worth_caching("lone")
+        unknown = PrefixSnapshotCache(4)     # no set: cache everything
+        assert unknown.worth_caching("anything")
+
+
+class TestCatalogParity:
+    """Record-for-record parity on every paper catalog entry."""
+
+    @pytest.mark.parametrize("key", ["fig3", "high-root", "high-nonroot",
+                                     "park-and-recover"])
+    def test_catalog_entry_parity(self, key):
+        plan = catalog_config(key, num_tests=2, duration=3.0).compile()
+        cold = CampaignEngine(plan, jobs=1).run()
+        cached = CampaignEngine(plan, jobs=1, prefix_cache=True).run()
+        assert records_of(cold) == records_of(cached)
+        stats = cached.prefix_cache_stats()
+        # Catalog entries use one seed per test: every family is a singleton.
+        assert stats == {"hits": 0, "misses": 2, "uncached": 0}
+
+
+class TestSharedPrefixParity:
+    def test_families_fast_forward_with_identical_records(self):
+        plan = shared_prefix_config(tests=2, variants=4).compile()
+        cold = CampaignEngine(plan, jobs=1).run()
+        cached = CampaignEngine(plan, jobs=1, prefix_cache=True).run()
+        assert records_of(cold) == records_of(cached)
+        assert cached.prefix_cache_stats() == {
+            "hits": 6, "misses": 2, "uncached": 0
+        }
+
+    def test_parallel_and_pooled_combinations_match(self):
+        plan = shared_prefix_config(tests=2, variants=3).compile()
+        cold = CampaignEngine(plan, jobs=1).run()
+        for kwargs in (dict(jobs=2, prefix_cache=True),
+                       dict(jobs=1, prefix_cache=True, pooling=True),
+                       dict(jobs=2, prefix_cache=True, pooling=True)):
+            variant = CampaignEngine(plan, **kwargs).run()
+            assert records_of(cold) == records_of(variant), kwargs
+
+    def test_tiny_lru_capacity_still_correct(self):
+        # Capacity 1 with interleaved families: the family-contiguous
+        # schedule keeps it at one miss per family even so.
+        plan = shared_prefix_config(tests=3, variants=3).compile()
+        cold = CampaignEngine(plan, jobs=1).run()
+        cached = CampaignEngine(plan, jobs=1, prefix_cache=True,
+                                prefix_cache_size=1).run()
+        assert records_of(cold) == records_of(cached)
+        assert cached.prefix_cache_stats() == {
+            "hits": 6, "misses": 3, "uncached": 0
+        }
+
+    def test_multi_scenario_grid_parity(self):
+        # Mixed scenarios per seed: the steady-state family forks from the
+        # post-settle snapshot, the lifecycle family from the bare post-boot
+        # snapshot — both must replay bit-identically.
+        config = shared_prefix_config(tests=2, variants=2)
+        config.scenarios = ["steady-state", "lifecycle"]
+        plan = config.compile()
+        cold = CampaignEngine(plan, jobs=1).run()
+        cached = CampaignEngine(plan, jobs=1, prefix_cache=True).run()
+        assert records_of(cold) == records_of(cached)
+        # 2 seeds x 2 scenarios = 4 families of 2 variants each.
+        assert cached.prefix_cache_stats() == {
+            "hits": 4, "misses": 4, "uncached": 0
+        }
+
+    def test_cross_lifecycle_family_parity(self):
+        # lifecycle and repeated-lifecycle share a prefix family: the
+        # repeated-lifecycle variant forks from the snapshot the lifecycle
+        # miss captured, and must replay bit-identically.
+        config = shared_prefix_config(tests=2, variants=1, duration=2.0)
+        config.scenarios = ["lifecycle", "repeated-lifecycle"]
+        plan = config.compile()
+        cold = CampaignEngine(plan, jobs=1).run()
+        cached = CampaignEngine(plan, jobs=1, prefix_cache=True).run()
+        assert records_of(cold) == records_of(cached)
+        # 2 seeds x 2 scenarios, one family per seed.
+        assert cached.prefix_cache_stats() == {
+            "hits": 2, "misses": 2, "uncached": 0
+        }
+
+    def test_campaign_run_prefix_cache_kwarg(self):
+        plan = paper_figure3_plan(num_tests=3, duration=3.0)
+        cold = Campaign(plan).run()
+        cached = Campaign(plan).run(prefix_cache=True, chunk_size="auto")
+        assert records_of(cold) == records_of(cached)
+
+    def test_cold_boot_opt_out_bypasses_the_cache(self):
+        specs = []
+        for index in range(4):
+            specs.append(ExperimentSpec(
+                name=f"optout-{index}",
+                target=InjectionTarget.nonroot_cpu_trap(),
+                trigger=EveryNCalls(80),
+                fault_model=SingleBitFlip(),
+                scenario=Scenario.STEADY_STATE,
+                duration=2.0,
+                seed=11,                 # all four share one prefix...
+                intensity="custom" if index != 1 else "optout",
+                cold_boot=(index == 1),  # ...but one opts out entirely
+            ))
+        plan = TestPlan(name="optout", specs=specs)
+        cold = CampaignEngine(plan, jobs=1).run()
+        cached = CampaignEngine(plan, jobs=1, prefix_cache=True).run()
+        assert records_of(cold) == records_of(cached)
+        by_name = {result.spec_name: result for result in cached.results}
+        assert by_name["optout-1"].prefix_cache_hit is None
+        assert cached.prefix_cache_stats() == {
+            "hits": 2, "misses": 1, "uncached": 1
+        }
+
+    def test_baseline_sut_is_served_by_the_cache(self):
+        # The baseline SUTs subclass JailhouseSUT, so they inherit the
+        # snapshot/fork protocol and fast-forward like the real deployment.
+        plan = shared_prefix_config(tests=1, variants=3).compile()
+        cold = CampaignEngine(plan, jobs=1, sut_factory="bao-like").run()
+        cached = CampaignEngine(plan, jobs=1, sut_factory="bao-like",
+                                prefix_cache=True).run()
+        assert records_of(cold) == records_of(cached)
+        assert cached.prefix_cache_stats() == {
+            "hits": 2, "misses": 1, "uncached": 0
+        }
+
+    def test_non_snapshot_sut_bypasses_the_cache(self):
+        from repro.engine.workers import _run_item_prefix_cached
+
+        torn_down = []
+
+        class PlainSut:
+            """No snapshot/fork protocol: must run cold, outside the cache."""
+
+            def teardown(self):
+                torn_down.append(self)
+
+        class FakeExperiment:
+            spec = ExperimentSpec(
+                name="plain", target=InjectionTarget.nonroot_cpu_trap(),
+                trigger=EveryNCalls(10), fault_model=SingleBitFlip(),
+                duration=1.0,
+            )
+            sut_factory = staticmethod(lambda seed: PlainSut())
+
+            def run_prefix(self, sut):
+                self.prefix_sut = sut
+
+            def run_from_snapshot(self, sut, wall_start=None):
+                assert sut is self.prefix_sut
+                return "cold-result"
+
+        cache = PrefixSnapshotCache(2)
+        experiment = FakeExperiment()
+        assert _run_item_prefix_cached(experiment, cache) == "cold-result"
+        assert (cache.bypasses, cache.hits, cache.misses) == (1, 0, 0)
+        assert len(cache) == 0               # nothing was cached
+        assert len(torn_down) == 1           # the cold SUT was torn down
+
+    def test_checkpoint_resume_composes_with_the_cache(self, tmp_path):
+        plan = shared_prefix_config(tests=2, variants=3).compile()
+        path = str(tmp_path / "ckpt.jsonl")
+        full = CampaignEngine(plan, jobs=1, prefix_cache=True,
+                              checkpoint_path=path).run()
+        resumed = CampaignEngine(plan, jobs=1, prefix_cache=True,
+                                 checkpoint_path=path, resume=True).run()
+        assert records_of(full) == records_of(resumed)
+        # Everything came from the checkpoint: nothing executed, so nothing
+        # hit or missed the cache this session.
+        assert resumed.prefix_cache_stats() == {
+            "hits": 0, "misses": 0, "uncached": 6
+        }
+
+
+class TestEngineChunkSizeValidation:
+    def test_auto_is_accepted(self):
+        plan = paper_figure3_plan(num_tests=2, duration=2.0)
+        CampaignEngine(plan, chunk_size="auto")
+
+    def test_bad_values_are_rejected(self):
+        plan = paper_figure3_plan(num_tests=2, duration=2.0)
+        with pytest.raises(CampaignError):
+            CampaignEngine(plan, chunk_size="huge")
+        with pytest.raises(CampaignError):
+            CampaignEngine(plan, chunk_size=0)

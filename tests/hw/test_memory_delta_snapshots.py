@@ -1,0 +1,152 @@
+"""Dirty-page delta snapshots of :class:`PhysicalMemory`.
+
+Correctness contract: a snapshot must always read back as a full page image
+and a restore must always reproduce it exactly, no matter how snapshots and
+writes interleave. Efficiency contract: pages untouched between captures are
+shared (the same immutable ``bytes`` object) instead of re-copied, and
+restores keep the live ``bytearray`` of provably unchanged pages.
+"""
+
+import pytest
+
+from repro.errors import MemoryAccessError
+from repro.hw.memory import (
+    MemoryFlags,
+    MemoryRegion,
+    PhysicalMemory,
+)
+
+BASE = 0x4000_0000
+
+
+def make_memory() -> PhysicalMemory:
+    return PhysicalMemory([
+        MemoryRegion("dram", BASE, 1 << 24, MemoryFlags.RWX),
+        MemoryRegion("sram", 0x0, 0x4000, MemoryFlags.RW),
+    ])
+
+
+class TestDeltaCorrectness:
+    def test_snapshot_restore_round_trip(self):
+        memory = make_memory()
+        for page in range(8):
+            memory.write(BASE + page * 4096, 0x1111 * (page + 1), 4)
+        state = memory.snapshot_state()
+        for page in range(8):
+            memory.write(BASE + page * 4096, 0xDEAD_BEEF, 4)
+        memory.restore_state(state)
+        for page in range(8):
+            assert memory.read(BASE + page * 4096, 4) == 0x1111 * (page + 1)
+
+    def test_interleaved_snapshots_stay_independent(self):
+        memory = make_memory()
+        memory.write(BASE, 0xAAAA, 4)
+        snap_a = memory.snapshot_state()
+        memory.write(BASE, 0xBBBB, 4)
+        memory.write(BASE + 4096, 0xCCCC, 4)
+        snap_b = memory.snapshot_state()
+        memory.write(BASE + 8192, 0xDDDD, 4)
+
+        memory.restore_state(snap_a)
+        assert memory.read(BASE, 4) == 0xAAAA
+        assert memory.read(BASE + 4096, 4) == 0
+        assert memory.read(BASE + 8192, 4) == 0
+
+        memory.restore_state(snap_b)
+        assert memory.read(BASE, 4) == 0xBBBB
+        assert memory.read(BASE + 4096, 4) == 0xCCCC
+        assert memory.read(BASE + 8192, 4) == 0
+
+        # Restoring the older snapshot again after the newer one.
+        memory.restore_state(snap_a)
+        assert memory.read(BASE, 4) == 0xAAAA
+        assert memory.read(BASE + 4096, 4) == 0
+
+    def test_write_bytes_marks_pages_dirty(self):
+        memory = make_memory()
+        memory.write_bytes(BASE + 4090, bytes(range(16)))   # straddles a page
+        state = memory.snapshot_state()
+        memory.write_bytes(BASE + 4090, b"\xff" * 16)
+        memory.restore_state(state)
+        assert memory.read_bytes(BASE + 4090, 16) == bytes(range(16))
+
+    def test_pages_created_after_a_snapshot_are_dropped_on_restore(self):
+        memory = make_memory()
+        memory.write(BASE, 1, 4)
+        state = memory.snapshot_state()
+        memory.write(BASE + 16 * 4096, 2, 4)
+        assert memory.resident_pages() == 2
+        memory.restore_state(state)
+        assert memory.resident_pages() == 1
+        assert memory.read(BASE + 16 * 4096, 4) == 0
+
+    def test_remove_region_interplay(self):
+        memory = PhysicalMemory([
+            MemoryRegion("left", 0x0, 0x1800, MemoryFlags.RW),
+            MemoryRegion("right", 0x1800, 0x800, MemoryFlags.RW),
+        ])
+        memory.write(0x1000, 0xAB, 1)        # page shared by both regions
+        memory.write(0x1C00, 0xCD, 1)
+        memory.snapshot_state()
+        memory.remove_region("right")        # zeroes its slice of the page
+        state = memory.snapshot_state()
+        assert state["pages"][1][0xC00] == 0
+        assert state["pages"][1][0x000] == 0xAB
+
+    def test_snapshot_is_immune_to_later_writes(self):
+        memory = make_memory()
+        memory.write(BASE, 0x1234, 4)
+        state = memory.snapshot_state()
+        memory.write(BASE, 0x9999, 4)
+        # The captured image must not alias the live page.
+        page = state["pages"][BASE >> 12]
+        assert int.from_bytes(page[0:4], "little") == 0x1234
+
+
+class TestDeltaEfficiency:
+    def test_clean_pages_are_shared_between_snapshots(self):
+        memory = make_memory()
+        for page in range(32):
+            memory.write(BASE + page * 4096, page + 1, 4)
+        first = memory.snapshot_state()
+        memory.write(BASE, 0xFFFF, 4)        # dirty exactly one page
+        second = memory.snapshot_state()
+        shared = sum(
+            1 for index in first["pages"]
+            if first["pages"][index] is second["pages"].get(index)
+        )
+        assert shared == 31                  # all but the dirtied page
+        assert first["pages"][BASE >> 12] is not second["pages"][BASE >> 12]
+
+    def test_copy_counters_reflect_the_delta(self):
+        memory = make_memory()
+        for page in range(16):
+            memory.write(BASE + page * 4096, page, 4)
+        memory.snapshot_state()
+        memory.snapshot_pages_copied = 0
+        memory.snapshot_pages_reused = 0
+        memory.write(BASE + 4096, 7, 4)
+        memory.snapshot_state()
+        assert memory.snapshot_pages_copied == 1
+        assert memory.snapshot_pages_reused == 15
+
+    def test_restore_keeps_unchanged_live_pages(self):
+        memory = make_memory()
+        for page in range(8):
+            memory.write(BASE + page * 4096, page, 4)
+        state = memory.snapshot_state()
+        live_before = {index: page for index, page in memory._pages.items()}
+        memory.write(BASE, 0xEE, 4)          # dirty page 0 only
+        memory.restore_state(state)
+        kept = sum(1 for index, page in memory._pages.items()
+                   if live_before[index] is page)
+        assert kept == 7                     # page 0 was rebuilt, rest kept
+        assert memory.read(BASE, 4) == 0
+
+    def test_permissions_still_enforced_after_restore(self):
+        memory = make_memory()
+        memory.write(BASE, 1, 4)
+        state = memory.snapshot_state()
+        memory.restore_state(state)
+        with pytest.raises(MemoryAccessError):
+            memory.fetch(0x100, 4)           # sram is RW, not executable
