@@ -1,0 +1,253 @@
+"""Streaming-analysis benchmark: `repro analyze` memory and throughput.
+
+Generates a large synthetic record store (200k records at full scale, 20k
+with ``--quick``), runs the exact accumulation path behind ``repro analyze``
+(:func:`repro.analysis.streaming.analyze_records` over
+:meth:`RecordStore.iter_records`), and compares it against the full-load
+path (``RecordStore.load()`` + the batch functions), gating on:
+
+* **peak memory** — the streaming pass must stay far below the full-load
+  pass (``--max-peak-fraction``, default 0.2), and its peak must be
+  *independent of the record count*: analyzing the full store may not take
+  more than double the memory of analyzing a tenth of it (bounded
+  accumulators, the O(1)-memory contract of ``analysis/streaming.py``);
+* **parity** — the streaming summaries must equal the full-load summaries,
+  and the rendered text must be byte-identical to ``repro report``'s;
+* **throughput** — the streaming pass may not be slower than
+  ``--max-slowdown`` (default 3.0) times the full-load pass.
+
+Peak memory is measured with ``tracemalloc`` (per-pass, machine
+independent); the process-level ``ru_maxrss`` is recorded for context.
+Results are written to ``BENCH_analyze_stream.json`` at the repo root, where
+full-scale runs are committed alongside the other ``BENCH_*.json`` reports.
+
+Usage::
+
+    python benchmarks/bench_analyze_stream.py           # full size (200k)
+    python benchmarks/bench_analyze_stream.py --quick   # CI size (20k)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import tempfile
+import time
+import tracemalloc
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REPO_SRC = REPO_ROOT / "src"
+if str(REPO_SRC) not in sys.path:
+    sys.path.insert(0, str(REPO_SRC))
+
+from repro.analysis.streaming import analyze_records          # noqa: E402
+from repro.core.analysis import (                             # noqa: E402
+    availability_breakdown,
+    management_summary,
+    outcome_distribution,
+    register_class_totals,
+)
+from repro.core.recording import ExperimentRecord, RecordStore  # noqa: E402
+from repro.core.report import format_analysis, format_distribution  # noqa: E402
+
+SCHEMA = "bench_analyze_stream/v1"
+
+#: Outcome mix roughly shaped like the paper's Figure 3.
+OUTCOME_CYCLE = (
+    "correct", "correct", "correct", "correct", "correct", "correct",
+    "panic_park", "panic_park", "panic_park",
+    "cpu_park",
+    "invalid_arguments",
+    "inconsistent_state",
+)
+TARGET_CYCLE = ("arch_handle_trap", "arch_handle_hvc", "irqchip_handle_irq")
+
+
+def generate_store(path: Path, count: int) -> float:
+    """Write ``count`` synthetic records shaped like a real campaign's."""
+    start = time.perf_counter()
+    with path.open("w", encoding="utf-8") as handle:
+        for index in range(count):
+            outcome = OUTCOME_CYCLE[index % len(OUTCOME_CYCLE)]
+            record = ExperimentRecord(
+                spec_name=f"bench-{index}",
+                outcome=outcome,
+                rationale="synthetic benchmark record",
+                injections=1 + index % 7,
+                duration=60.0,
+                seed=index,
+                scenario="steady-state",
+                target=TARGET_CYCLE[index % len(TARGET_CYCLE)],
+                fault_model="single-bit-flip",
+                intensity="medium",
+                register_class_counts={"gp": index % 3, "special": index % 2},
+                create_attempted=outcome == "invalid_arguments",
+                create_succeeded=False,
+            )
+            handle.write(record.to_json() + "\n")
+    return time.perf_counter() - start
+
+
+def run_streaming(store: RecordStore):
+    return analyze_records(store.iter_records(), group_key="target")
+
+
+def run_full_load(store: RecordStore):
+    records = store.load()
+    return {
+        "records": records,
+        "distribution": outcome_distribution(records),
+        "availability": availability_breakdown(records),
+        "management": management_summary(records),
+        "register_classes": register_class_totals(records),
+    }
+
+
+def timed(func, *args):
+    start = time.perf_counter()
+    value = func(*args)
+    return value, time.perf_counter() - start
+
+
+def traced_peak(func, *args) -> int:
+    """Peak tracemalloc bytes attributable to one pass."""
+    tracemalloc.start()
+    try:
+        func(*args)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI size (20k records) instead of 200k")
+    parser.add_argument("--records", type=int, default=None,
+                        help="override the record count")
+    parser.add_argument("--max-peak-fraction", type=float, default=0.2,
+                        help="streaming peak must stay below this fraction "
+                             "of the full-load peak (default 0.2)")
+    parser.add_argument("--max-growth", type=float, default=2.0,
+                        help="streaming peak on the full store must stay "
+                             "below this multiple of the peak on a tenth "
+                             "of it (default 2.0)")
+    parser.add_argument("--max-slowdown", type=float, default=3.0,
+                        help="streaming wall time must stay below this "
+                             "multiple of the full-load wall time")
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_analyze_stream.json"))
+    args = parser.parse_args(argv)
+
+    count = args.records or (20_000 if args.quick else 200_000)
+    tenth = max(count // 10, 1)
+    failures = []
+
+    with tempfile.TemporaryDirectory(prefix="bench_analyze_") as tmp:
+        full_path = Path(tmp) / "full.jsonl"
+        tenth_path = Path(tmp) / "tenth.jsonl"
+        generation_s = generate_store(full_path, count)
+        generate_store(tenth_path, tenth)
+        store = RecordStore(full_path)
+        tenth_store = RecordStore(tenth_path)
+        print(f"generated {count} records in {generation_s:.2f}s "
+              f"({full_path.stat().st_size / 1e6:.1f} MB)")
+
+        # Throughput (untraced: tracemalloc slows parsing several-fold).
+        analysis, stream_s = timed(run_streaming, store)
+        loaded, load_s = timed(run_full_load, store)
+
+        # Parity: streaming numbers must equal the full-load numbers, and
+        # the text rendering must be byte-identical to `repro report`'s.
+        source = str(full_path)
+        if analysis.analyzer.distribution() != loaded["distribution"]:
+            failures.append("streaming distribution != full-load distribution")
+        if analysis.analyzer.availability() != loaded["availability"]:
+            failures.append("streaming availability != full-load availability")
+        if analysis.analyzer.management_summary() != loaded["management"]:
+            failures.append("streaming management != full-load management")
+        if analysis.analyzer.register_class_totals() != loaded["register_classes"]:
+            failures.append("streaming register classes != full-load totals")
+        streamed_text = format_analysis(
+            analyze_records(store.iter_records()), title=f"records: {source}")
+        report_text = format_distribution(loaded["distribution"],
+                                          title=f"records: {source}")
+        if streamed_text != report_text:
+            failures.append("analyze text is not byte-identical to report")
+
+        # Peak memory, full store vs a tenth of it vs full load.
+        del loaded
+        stream_peak = traced_peak(run_streaming, store)
+        stream_peak_tenth = traced_peak(run_streaming, tenth_store)
+        load_peak = traced_peak(run_full_load, store)
+
+    peak_fraction = stream_peak / load_peak if load_peak else 0.0
+    growth = (stream_peak / stream_peak_tenth) if stream_peak_tenth else 0.0
+    slowdown = stream_s / load_s if load_s else 0.0
+
+    if peak_fraction > args.max_peak_fraction:
+        failures.append(
+            f"streaming peak is {peak_fraction:.1%} of the full-load peak "
+            f"(limit {args.max_peak_fraction:.0%})")
+    if growth > args.max_growth:
+        failures.append(
+            f"streaming peak grew {growth:.2f}x from {tenth} to {count} "
+            f"records (limit {args.max_growth:.1f}x): memory is not "
+            f"independent of the record count")
+    if slowdown > args.max_slowdown:
+        failures.append(
+            f"streaming pass took {slowdown:.2f}x the full-load pass "
+            f"(limit {args.max_slowdown:.1f}x)")
+
+    report = {
+        "schema": SCHEMA,
+        "scale": "quick" if count < 200_000 else "full",
+        "records": count,
+        "generation_s": round(generation_s, 4),
+        "streaming": {
+            "wall_s": round(stream_s, 4),
+            "records_per_s": round(count / stream_s) if stream_s else None,
+            "tracemalloc_peak_bytes": stream_peak,
+            "tracemalloc_peak_bytes_at_tenth": stream_peak_tenth,
+        },
+        "full_load": {
+            "wall_s": round(load_s, 4),
+            "records_per_s": round(count / load_s) if load_s else None,
+            "tracemalloc_peak_bytes": load_peak,
+        },
+        "ratios": {
+            "streaming_peak_over_full_load_peak": round(peak_fraction, 5),
+            "streaming_peak_growth_full_over_tenth": round(growth, 3),
+            "streaming_wall_over_full_load_wall": round(slowdown, 3),
+        },
+        "ru_maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "gates": {
+            "max_peak_fraction": args.max_peak_fraction,
+            "max_growth": args.max_growth,
+            "max_slowdown": args.max_slowdown,
+            "failures": failures,
+        },
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"streaming: {stream_s:.2f}s ({count / stream_s:,.0f} records/s), "
+          f"peak {stream_peak / 1e3:,.0f} kB "
+          f"(tenth-size store: {stream_peak_tenth / 1e3:,.0f} kB)")
+    print(f"full load: {load_s:.2f}s ({count / load_s:,.0f} records/s), "
+          f"peak {load_peak / 1e6:,.1f} MB")
+    print(f"streaming peak = {peak_fraction:.2%} of full-load peak, "
+          f"grew {growth:.2f}x for a 10x larger store")
+    print(f"report written to {args.output}")
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,4 @@
-"""Statistical helpers and figure rendering shared by benches and reports."""
+"""Statistical helpers, figure rendering, and streaming record analysis."""
 
 from repro.analysis.stats import (
     proportion_confidence_interval,
@@ -7,10 +7,34 @@ from repro.analysis.stats import (
 )
 from repro.analysis.figures import ascii_bar_chart, ascii_pie_summary
 
-__all__ = [
+#: Streaming-analysis names re-exported lazily (PEP 562):
+#: ``repro.analysis.streaming`` imports ``repro.core.analysis``, which in
+#: turn imports ``repro.analysis.stats`` (and hence this package), so an
+#: eager import here would be a cycle.
+_STREAMING_EXPORTS = frozenset({
+    "GroupedStreamingAnalyzer",
+    "OutcomeTally",
+    "PAPER_FIGURE3_REFERENCE",
+    "StreamAnalysis",
+    "StreamingAnalyzer",
+    "StreamingConvergence",
+    "analyze_records",
+    "compare_to_dict",
+    "default_checkpoints",
+    "outcome_deltas",
+})
+
+
+def __getattr__(name):
+    if name in _STREAMING_EXPORTS:
+        from repro.analysis import streaming
+        return getattr(streaming, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = sorted(_STREAMING_EXPORTS | {
     "ascii_bar_chart",
     "ascii_pie_summary",
     "proportion_confidence_interval",
     "required_sample_size",
     "summarize_proportion",
-]
+})

@@ -11,6 +11,13 @@ reproduction without writing Python:
 * ``repro-fi list``      — show every registered part (fault models, triggers,
   targets, scenarios, SUTs, classifiers) and catalog campaign;
 * ``repro-fi report``    — re-render reports from a saved ``.jsonl`` record file;
+* ``repro-fi analyze``   — streaming analysis of a saved record file: outcome
+  distribution with Wilson CIs, availability, management findings,
+  ``--group-by`` any record field, ``--convergence`` curves, and
+  text/JSON/Markdown export — in one pass and O(1) memory, so
+  million-record stores analyze in the same footprint as ten-record ones;
+* ``repro-fi compare``   — side-by-side outcome comparison of two or more
+  saved campaigns (per-outcome deltas, Figure-3 paper reference);
 * ``repro-fi seooc``     — build the ISO 26262 SEooC evidence report from one or
   more saved campaigns.
 
@@ -33,10 +40,18 @@ without changing any outcome — see the README's Performance guide.
 from __future__ import annotations
 
 import argparse
+import itertools
+import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.analysis.streaming import (
+    PAPER_FIGURE3_REFERENCE,
+    StreamingAnalyzer,
+    analyze_records,
+    compare_to_dict,
+)
 from repro.core.campaign import Campaign
 from repro.core.config import (
     catalog_config,
@@ -52,7 +67,8 @@ from repro.core.plan import (
     paper_high_intensity_nonroot_plan,
     paper_high_intensity_root_plan,
 )
-from repro.core.recording import RecordStore
+from repro.core.outcomes import Outcome
+from repro.core.recording import ExperimentRecord, RecordStore
 from repro.core.registry import (
     CLASSIFIERS,
     FAULT_MODELS,
@@ -65,6 +81,9 @@ from repro.core.registry import (
     WORKLOADS,
 )
 from repro.core.report import (
+    format_analysis,
+    format_analysis_markdown,
+    format_campaign_comparison,
     format_campaign_summary,
     format_distribution,
     format_figure3,
@@ -74,12 +93,17 @@ from repro.core.analysis import outcome_distribution
 from repro.core.targets import InjectionTarget
 from repro.engine import CampaignEngine
 from repro.engine.scheduler import normalize_chunk_size
-from repro.errors import CampaignConfigError, CampaignError, RegistryError
+from repro.errors import (
+    AnalysisError,
+    CampaignConfigError,
+    CampaignError,
+    RegistryError,
+)
 from repro.hypervisor.handlers import ALL_HANDLERS
 from repro.safety.evidence import build_evidence_report
 
 #: Figure-3 reference shares used for side-by-side reporting.
-PAPER_FIGURE3 = {"correct": 0.63, "panic_park": 0.30, "cpu_park": 0.07}
+PAPER_FIGURE3 = PAPER_FIGURE3_REFERENCE
 
 
 def _build_target(handler: str, cpu: Optional[int]) -> InjectionTarget:
@@ -270,11 +294,62 @@ def cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_record_stream(path: str) -> Optional[Iterator[ExperimentRecord]]:
+    """Open one validated streaming iterator over a record file.
+
+    Returns ``None`` when the file is missing or holds no records; emptiness
+    is detected by peeking at the first record (re-chained onto the
+    iterator), so the file is read exactly once.
+    """
+    store = RecordStore(path)
+    if not store.path.exists():
+        return None
+    records = store.iter_records()
+    first = next(records, None)
+    if first is None:
+        return None
+    return itertools.chain([first], records)
+
+
+def _open_record_streams(
+        paths: Sequence[str],
+) -> Tuple[Dict[str, Iterator[ExperimentRecord]], List[str]]:
+    """Open one validated stream per campaign file, keyed by a unique name.
+
+    Shared by ``compare`` and ``seooc``: every missing or empty path becomes
+    a problem string (callers treat any problem as a hard error — a typo'd
+    path must never silently drop a campaign), the same file given twice is
+    rejected rather than double-counted, and distinct files whose stems
+    collide fall back to their full paths as names.
+    """
+    streams: Dict[str, Iterator[ExperimentRecord]] = {}
+    problems: List[str] = []
+    seen_files = set()
+    for path in paths:
+        resolved = Path(path).resolve()
+        if resolved in seen_files:
+            problems.append(f"record file given more than once: {path}")
+            continue
+        seen_files.add(resolved)
+        records = _open_record_stream(path)
+        if records is None:
+            kind = ("does not exist" if not Path(path).exists()
+                    else "contains no records")
+            problems.append(f"record file {kind}: {path}")
+            continue
+        name = Path(path).stem
+        if name in streams:
+            name = path         # stem collision across directories
+        streams[name] = records
+    return streams, problems
+
+
 def cmd_report(args: argparse.Namespace) -> int:
-    records = RecordStore(args.records).load()
-    if not records:
+    records = _open_record_stream(args.records)
+    if records is None:
         print(f"no records found in {args.records}", file=sys.stderr)
         return 1
+    # One streaming pass: each style consumes the iterator exactly once.
     if args.style == "figure3":
         print(format_figure3(records, paper_reference=PAPER_FIGURE3))
     elif args.style == "management":
@@ -285,14 +360,74 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    store = RecordStore(args.records)
+    if not store.path.exists():
+        print(f"error: record file does not exist: {args.records}",
+              file=sys.stderr)
+        return 1
+    analysis = analyze_records(
+        store.iter_records(errors="skip" if args.skip_malformed else "strict"),
+        group_key=args.group_by,
+        convergence_outcome=(Outcome(args.convergence)
+                             if args.convergence else None),
+        source=args.records,
+    )
+    skipped = 0
+    if args.skip_malformed:
+        # count() counts every non-blank line, parsed or not, so the
+        # difference is exactly how many lines the skip policy dropped —
+        # never silently: the analysis must not look complete when it isn't.
+        skipped = store.count() - analysis.total
+        if skipped:
+            print(f"warning: skipped {skipped} malformed record line(s) "
+                  f"in {args.records}", file=sys.stderr)
+    if analysis.total == 0:
+        print(f"no records found in {args.records}", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        payload = analysis.to_dict()
+        if args.skip_malformed:
+            payload["skipped_lines"] = skipped
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif args.format == "markdown":
+        print(format_analysis_markdown(analysis))
+    else:
+        print(format_analysis(analysis, title=f"records: {args.records}"))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    if len(args.records) < 2:
+        print("error: compare needs at least two record files",
+              file=sys.stderr)
+        return 2
+    streams, problems = _open_record_streams(args.records)
+    if problems:
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        return 1
+    analyses = {name: StreamingAnalyzer().extend(records)
+                for name, records in streams.items()}
+    if args.format == "json":
+        print(json.dumps(
+            compare_to_dict(analyses, paper_reference=PAPER_FIGURE3),
+            indent=2, sort_keys=True))
+    else:
+        print(format_campaign_comparison(analyses,
+                                         paper_reference=PAPER_FIGURE3))
+    return 0
+
+
 def cmd_seooc(args: argparse.Namespace) -> int:
-    records_by_campaign = {}
-    for path in args.records:
-        records = RecordStore(path).load()
-        if records:
-            records_by_campaign[Path(path).stem] = records
-    if not records_by_campaign:
-        print("none of the given files contained records", file=sys.stderr)
+    # Every path must exist, contain records, and appear only once: the
+    # evidence report backs a certification argument, so a typo'd path
+    # silently dropping a whole campaign (with exit 0) — or the same file
+    # double-counted under two names — is the worst possible failure mode.
+    records_by_campaign, problems = _open_record_streams(args.records)
+    if problems:
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
         return 1
     report = build_evidence_report(records_by_campaign)
     print(report.render())
@@ -403,6 +538,41 @@ def build_parser() -> argparse.ArgumentParser:
                         default="distribution")
     report.set_defaults(func=cmd_report)
 
+    analyze = sub.add_parser(
+        "analyze",
+        help="streaming analysis of saved records (single pass, O(1) memory)")
+    analyze.add_argument("records", help="path to a .jsonl record file")
+    analyze.add_argument("--group-by", metavar="FIELD",
+                         choices=sorted(ExperimentRecord.__dataclass_fields__),
+                         help="break the analysis down by a record field "
+                              "(target, intensity, fault_model, scenario, "
+                              "seed, ...)")
+    analyze.add_argument("--format", choices=["text", "json", "markdown"],
+                         default="text",
+                         help="text (default; identical to 'repro-fi report' "
+                              "when no extra analyses are requested), "
+                              "machine-readable JSON, or Markdown")
+    analyze.add_argument("--convergence", metavar="OUTCOME",
+                         choices=[outcome.value for outcome in Outcome],
+                         help="add a convergence curve: the share of OUTCOME "
+                              "after the first 10/20/50/100/... records "
+                              "(how many tests the campaign needed before "
+                              "its shares stabilized)")
+    analyze.add_argument("--skip-malformed", action="store_true",
+                         help="skip malformed record lines instead of "
+                              "failing on the first one (for salvaging "
+                              "stores from killed campaigns)")
+    analyze.set_defaults(func=cmd_analyze)
+
+    compare = sub.add_parser(
+        "compare",
+        help="side-by-side outcome comparison of two or more campaigns")
+    compare.add_argument("records", nargs="+",
+                         help="two or more .jsonl record files (one per "
+                              "campaign); deltas are relative to the first")
+    compare.add_argument("--format", choices=["text", "json"], default="text")
+    compare.set_defaults(func=cmd_compare)
+
     seooc = sub.add_parser("seooc", help="build the SEooC evidence report")
     seooc.add_argument("records", nargs="+",
                        help="one or more .jsonl record files (one per campaign)")
@@ -424,6 +594,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except AnalysisError as exc:
+        # Malformed/incompatible record files (bad JSON lines, newer
+        # schema_version, ...) are data errors: name the file and line
+        # instead of a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests of main()

@@ -4,6 +4,14 @@ Turns raw experiment records into the quantities reported by the paper:
 per-outcome distributions (Figure 3), conditional statistics on corrupted
 management calls (the high-intensity findings), per-register-class and
 per-target breakdowns (ablations), and simple convergence diagnostics.
+
+Every function here makes exactly one pass over its ``records`` argument, so
+all of them accept arbitrary iterables — including the lazy generators from
+:meth:`~repro.core.recording.RecordStore.iter_records` — and the
+``*_from_counts`` builders turn pre-accumulated counters into the same
+summary objects, which is how the streaming layer
+(:mod:`repro.analysis.streaming`) and the engine's live aggregator produce
+numbers that cannot drift from the offline ones.
 """
 
 from __future__ import annotations
@@ -54,15 +62,20 @@ def _to_outcomes(records: Iterable[ExperimentRecord]) -> List[Outcome]:
     return [record.outcome_enum for record in records]
 
 
-def outcome_distribution(records: Sequence[ExperimentRecord]) -> DistributionSummary:
-    """Compute the per-outcome distribution over a set of records."""
-    outcomes = _to_outcomes(records)
-    total = len(outcomes)
+def distribution_from_counts(counts: Mapping[str, int],
+                             total: int) -> DistributionSummary:
+    """Build a :class:`DistributionSummary` from per-outcome-value counts.
+
+    This is the single construction path for outcome distributions:
+    :func:`outcome_distribution` (one pass over records), the streaming
+    accumulators, and the engine's live aggregator all reduce to counts and
+    delegate here, so their numbers are identical by construction.
+    """
     summary = DistributionSummary(total=total)
     if total == 0:
         return summary
     for outcome in Outcome:
-        count = sum(1 for value in outcomes if value is outcome)
+        count = counts.get(outcome.value, 0)
         low, high = proportion_confidence_interval(count, total)
         summary.shares[outcome] = OutcomeShare(
             outcome=outcome,
@@ -74,38 +87,69 @@ def outcome_distribution(records: Sequence[ExperimentRecord]) -> DistributionSum
     return summary
 
 
-def availability_breakdown(records: Sequence[ExperimentRecord]) -> Dict[str, float]:
-    """Figure-3 style availability shares: correct / panic park / cpu park / other."""
-    total = len(records)
+def availability_from_counts(counts: Mapping[str, int],
+                             total: int) -> Dict[str, float]:
+    """Figure-3 availability shares from per-outcome-value counts."""
     if total == 0:
         return {"correct": 0.0, "panic_park": 0.0, "cpu_park": 0.0, "other": 0.0}
-    counts = defaultdict(int)
+    correct = counts.get(Outcome.CORRECT.value, 0)
+    panic = counts.get(Outcome.PANIC_PARK.value, 0)
+    cpu = counts.get(Outcome.CPU_PARK.value, 0)
+    other = total - correct - panic - cpu
+    return {
+        "correct": correct / total,
+        "panic_park": panic / total,
+        "cpu_park": cpu / total,
+        "other": other / total,
+    }
+
+
+def _count_outcomes(records: Iterable[ExperimentRecord]) -> "Tuple[Dict[str, int], int]":
+    counts: Dict[str, int] = defaultdict(int)
+    total = 0
     for record in records:
-        outcome = record.outcome_enum
-        if outcome is Outcome.CORRECT:
-            counts["correct"] += 1
-        elif outcome is Outcome.PANIC_PARK:
-            counts["panic_park"] += 1
-        elif outcome is Outcome.CPU_PARK:
-            counts["cpu_park"] += 1
-        else:
-            counts["other"] += 1
-    return {key: counts[key] / total
-            for key in ("correct", "panic_park", "cpu_park", "other")}
+        counts[record.outcome_enum.value] += 1
+        total += 1
+    return counts, total
 
 
-def group_by(records: Sequence[ExperimentRecord],
+def outcome_distribution(records: Iterable[ExperimentRecord]) -> DistributionSummary:
+    """Compute the per-outcome distribution over a set of records."""
+    counts, total = _count_outcomes(records)
+    return distribution_from_counts(counts, total)
+
+
+def availability_breakdown(records: Iterable[ExperimentRecord]) -> Dict[str, float]:
+    """Figure-3 style availability shares: correct / panic park / cpu park / other."""
+    counts, total = _count_outcomes(records)
+    return availability_from_counts(counts, total)
+
+
+def require_record_field(key: str) -> str:
+    """Validate that ``key`` names an :class:`ExperimentRecord` field.
+
+    Rejects non-fields unconditionally — including method names such as
+    ``"to_json"``, which a plain ``hasattr`` check would accept and which
+    would then group every record under one bound-method repr.
+    """
+    if key not in ExperimentRecord.__dataclass_fields__:
+        valid = ", ".join(sorted(ExperimentRecord.__dataclass_fields__))
+        raise AnalysisError(
+            f"{key!r} is not an ExperimentRecord field; valid keys: {valid}")
+    return key
+
+
+def group_by(records: Iterable[ExperimentRecord],
              key: str) -> Dict[str, List[ExperimentRecord]]:
     """Group records by one of their string attributes (target, intensity, ...)."""
-    if records and not hasattr(records[0], key):
-        raise AnalysisError(f"records have no attribute {key!r}")
+    require_record_field(key)
     grouped: Dict[str, List[ExperimentRecord]] = defaultdict(list)
     for record in records:
         grouped[str(getattr(record, key))].append(record)
     return dict(grouped)
 
 
-def grouped_distributions(records: Sequence[ExperimentRecord],
+def grouped_distributions(records: Iterable[ExperimentRecord],
                           key: str) -> Dict[str, DistributionSummary]:
     """Per-group outcome distributions (used by the ablation benches)."""
     return {
@@ -132,35 +176,94 @@ class ManagementSummary:
         return self.create_rejections / self.create_attempts
 
 
-def management_summary(records: Sequence[ExperimentRecord]) -> ManagementSummary:
+class OutcomeTally:
+    """Rolling per-outcome counts — the shared counting core.
+
+    Both the engine's live aggregator (fed ``ExperimentResult``\\ s as a
+    campaign runs) and the offline streaming analyzers (fed
+    :class:`ExperimentRecord`\\ s from disk) count through this class, so a
+    campaign's live progress numbers and its after-the-fact analysis are the
+    same numbers by construction.
+    """
+
+    def __init__(self) -> None:
+        self.completed = 0
+        self.failures = 0
+        self.injections = 0
+        self.outcome_counts: Dict[str, int] = {
+            outcome.value: 0 for outcome in Outcome
+        }
+
+    def add(self, outcome: Outcome, *, injections: int = 0) -> None:
+        self.completed += 1
+        if outcome.is_failure:
+            self.failures += 1
+        self.injections += injections
+        self.outcome_counts[outcome.value] = (
+            self.outcome_counts.get(outcome.value, 0) + 1
+        )
+
+    def distribution(self) -> DistributionSummary:
+        return distribution_from_counts(self.outcome_counts, self.completed)
+
+    def availability(self) -> Dict[str, float]:
+        return availability_from_counts(self.outcome_counts, self.completed)
+
+    def mean_injections(self) -> float:
+        return self.injections / self.completed if self.completed else 0.0
+
+
+class ManagementTally:
+    """Rolling counters behind :class:`ManagementSummary`.
+
+    One instance is fed one record at a time (by :func:`management_summary`
+    and by the streaming analyzers), so the management findings have a single
+    counting implementation regardless of whether records arrive as a list,
+    a generator, or one by one from a live campaign.
+    """
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.create_attempts = 0
+        self.create_rejections = 0
+        self.inconsistent_states = 0
+        self.panics = 0
+
+    def add(self, record: ExperimentRecord) -> None:
+        self.total += 1
+        if record.create_attempted:
+            self.create_attempts += 1
+            if not record.create_succeeded:
+                self.create_rejections += 1
+        outcome = record.outcome_enum
+        if outcome is Outcome.INCONSISTENT_STATE:
+            self.inconsistent_states += 1
+        elif outcome is Outcome.PANIC_PARK:
+            self.panics += 1
+
+    def summary(self) -> ManagementSummary:
+        # In this model a rejected create never allocates a cell, which is
+        # the safety property behind the paper's "the cell will not be
+        # allocated at all, which is a correct (and expected) behaviour".
+        return ManagementSummary(
+            total=self.total,
+            create_attempts=self.create_attempts,
+            create_rejections=self.create_rejections,
+            rejected_and_not_allocated=self.create_rejections,
+            inconsistent_states=self.inconsistent_states,
+            panics=self.panics,
+        )
+
+
+def management_summary(records: Iterable[ExperimentRecord]) -> ManagementSummary:
     """Summarize cell-management behaviour under fault (E2/E3 analysis)."""
-    create_attempts = sum(1 for record in records if record.create_attempted)
-    create_rejections = sum(
-        1 for record in records
-        if record.create_attempted and not record.create_succeeded
-    )
-    # In this model a rejected create never allocates a cell, which is the
-    # safety property behind the paper's "the cell will not be allocated at
-    # all, which is a correct (and expected) behaviour".
-    rejected_and_not_allocated = create_rejections
-    inconsistent = sum(
-        1 for record in records
-        if record.outcome_enum is Outcome.INCONSISTENT_STATE
-    )
-    panics = sum(
-        1 for record in records if record.outcome_enum is Outcome.PANIC_PARK
-    )
-    return ManagementSummary(
-        total=len(records),
-        create_attempts=create_attempts,
-        create_rejections=create_rejections,
-        rejected_and_not_allocated=rejected_and_not_allocated,
-        inconsistent_states=inconsistent,
-        panics=panics,
-    )
+    tally = ManagementTally()
+    for record in records:
+        tally.add(record)
+    return tally.summary()
 
 
-def register_class_totals(records: Sequence[ExperimentRecord]) -> Dict[str, int]:
+def register_class_totals(records: Iterable[ExperimentRecord]) -> Dict[str, int]:
     """Total corruptions per register class across a campaign."""
     totals: Dict[str, int] = defaultdict(int)
     for record in records:
@@ -169,10 +272,13 @@ def register_class_totals(records: Sequence[ExperimentRecord]) -> Dict[str, int]
     return dict(totals)
 
 
-def mean_injections_per_test(records: Sequence[ExperimentRecord]) -> float:
-    if not records:
-        return 0.0
-    return sum(record.injections for record in records) / len(records)
+def mean_injections_per_test(records: Iterable[ExperimentRecord]) -> float:
+    total = 0
+    injections = 0
+    for record in records:
+        total += 1
+        injections += record.injections
+    return injections / total if total else 0.0
 
 
 def convergence_curve(records: Sequence[ExperimentRecord],

@@ -16,7 +16,7 @@ from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.core.experiment import ExperimentResult
 from repro.core.outcomes import ManagementEvidence, Outcome
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, RecordSchemaError
 
 RECORD_SCHEMA_VERSION = 1
 
@@ -130,7 +130,17 @@ class ExperimentRecord:
             raise AnalysisError(f"malformed record line: {exc}") from exc
         if not isinstance(payload, dict):
             raise AnalysisError("record line does not contain a JSON object")
-        payload.pop("schema_version", None)
+        version = payload.pop("schema_version", None)
+        if version is not None:
+            if isinstance(version, bool) or not isinstance(version, int):
+                raise AnalysisError(
+                    f"record schema_version must be an integer, got {version!r}")
+            if version > RECORD_SCHEMA_VERSION:
+                raise RecordSchemaError(
+                    f"record schema_version {version} is newer than the "
+                    f"supported version {RECORD_SCHEMA_VERSION}; this record "
+                    f"was written by a newer repro and its fields could be "
+                    f"misinterpreted — upgrade before analyzing it")
         known = {name for name in cls.__dataclass_fields__ if name != "schema_version"}
         unknown = set(payload) - known
         if unknown:
@@ -169,16 +179,68 @@ class RecordStore:
                 count += 1
         return count
 
-    def load(self) -> List[ExperimentRecord]:
+    def iter_records(self, *, errors: str = "strict") -> Iterator[ExperimentRecord]:
+        """Stream records line by line without materializing the file.
+
+        This is the O(1)-memory path the analysis layer is built on: at any
+        point only one line of the file is held in memory, so a
+        million-record store streams in the same footprint as a ten-record
+        one. A missing file streams zero records (mirroring :meth:`load`).
+
+        ``errors`` selects the malformed-line policy:
+
+        * ``"strict"`` (default) — raise :class:`AnalysisError` naming the
+          file and line number of the first malformed line;
+        * ``"skip"`` — drop malformed lines and keep streaming (for
+          salvaging partially corrupted stores, e.g. a campaign killed
+          mid-write). Records stamped with a newer ``schema_version`` are
+          a tooling mismatch rather than corruption and raise
+          :class:`~repro.errors.RecordSchemaError` under either policy.
+        """
+        if errors not in ("strict", "skip"):
+            raise AnalysisError(
+                f"unknown malformed-line policy {errors!r}; "
+                f"use 'strict' or 'skip'")
+        return self._iter_records(errors)
+
+    def _iter_records(self, errors: str) -> Iterator[ExperimentRecord]:
         if not self.path.exists():
-            return []
-        records: List[ExperimentRecord] = []
+            return
         with self.path.open("r", encoding="utf-8") as handle:
-            for line in handle:
+            for lineno, line in enumerate(handle, start=1):
                 line = line.strip()
-                if line:
-                    records.append(ExperimentRecord.from_json(line))
-        return records
+                if not line:
+                    continue
+                try:
+                    record = ExperimentRecord.from_json(line)
+                except AnalysisError as exc:
+                    # A newer-schema record is a tooling mismatch, not line
+                    # corruption: the skip policy must not silently drop it.
+                    if errors == "skip" and not isinstance(exc, RecordSchemaError):
+                        continue
+                    raise exc.__class__(
+                        f"{self.path}:{lineno}: {exc}") from exc
+                yield record
+
+    def count(self) -> int:
+        """Number of non-blank lines in the store, without parsing them.
+
+        Holds one line at a time, like iteration. On a well-formed store
+        this equals the number of records :meth:`iter_records` yields; on a
+        store with malformed lines it is an upper bound (strict iteration
+        raises, ``errors="skip"`` yields fewer).
+        """
+        if not self.path.exists():
+            return 0
+        with self.path.open("r", encoding="utf-8") as handle:
+            return sum(1 for line in handle if line.strip())
+
+    def load(self) -> List[ExperimentRecord]:
+        """Materialize every record in memory (convenience for small stores).
+
+        Large stores should use :meth:`iter_records` instead.
+        """
+        return list(self.iter_records())
 
     def __iter__(self) -> Iterator[ExperimentRecord]:
-        return iter(self.load())
+        return self.iter_records()

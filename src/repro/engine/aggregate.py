@@ -15,8 +15,8 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict
 
+from repro.core.analysis import OutcomeTally
 from repro.core.experiment import ExperimentResult
-from repro.core.outcomes import Outcome
 
 
 @dataclass(frozen=True)
@@ -69,20 +69,38 @@ EngineProgress = Callable[[AggregateSnapshot, ExperimentResult], None]
 
 
 class LiveAggregator:
-    """Accumulates outcome statistics as results stream in."""
+    """Accumulates outcome statistics as results stream in.
+
+    Counting is delegated to the same
+    :class:`~repro.core.analysis.OutcomeTally` the offline streaming
+    analyzers use, so the live progress numbers of a campaign and the
+    ``repro analyze`` numbers computed later from its records are the same
+    counts by construction.
+    """
 
     def __init__(self, total: int) -> None:
         self.total = total
-        self.completed = 0
         self.resumed = 0
-        self.failures = 0
-        self.injections = 0
         self.prefix_hits = 0
         self.prefix_misses = 0
-        self.outcome_counts: Dict[str, int] = {
-            outcome.value: 0 for outcome in Outcome
-        }
+        self._tally = OutcomeTally()
         self._started = time.perf_counter()
+
+    @property
+    def completed(self) -> int:
+        return self._tally.completed
+
+    @property
+    def failures(self) -> int:
+        return self._tally.failures
+
+    @property
+    def injections(self) -> int:
+        return self._tally.injections
+
+    @property
+    def outcome_counts(self) -> Dict[str, int]:
+        return self._tally.outcome_counts
 
     def restore(self, result: ExperimentResult) -> AggregateSnapshot:
         """Fold in a result recovered from a checkpoint (not executed now)."""
@@ -90,16 +108,11 @@ class LiveAggregator:
         return self.update(result)
 
     def update(self, result: ExperimentResult) -> AggregateSnapshot:
-        self.completed += 1
-        self.failures += 1 if result.failed else 0
-        self.injections += result.injections
+        self._tally.add(result.outcome, injections=result.injections)
         if result.prefix_cache_hit is True:
             self.prefix_hits += 1
         elif result.prefix_cache_hit is False:
             self.prefix_misses += 1
-        self.outcome_counts[result.outcome.value] = (
-            self.outcome_counts.get(result.outcome.value, 0) + 1
-        )
         return self.snapshot()
 
     def snapshot(self) -> AggregateSnapshot:

@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.core.experiment import ExperimentResult, ExperimentSpec
 from repro.core.plan import TestPlan
 from repro.core.recording import ExperimentRecord, RecordStore
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, RecordSchemaError
 
 #: Fallback identity for records without a ``spec_id`` stamp.
 _Triple = Tuple[str, int, str]
@@ -73,6 +73,12 @@ class Checkpoint:
         for position, line in enumerate(lines):
             try:
                 records.append(ExperimentRecord.from_json(line))
+            except RecordSchemaError:
+                # A record stamped with a newer schema_version is a valid
+                # record this tooling is too old to read — not a torn
+                # write; discarding it would destroy data, so resume
+                # refuses even when it is the last line.
+                raise
             except AnalysisError:
                 if position == len(lines) - 1:
                     torn_tail = True

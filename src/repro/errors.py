@@ -121,5 +121,16 @@ class AnalysisError(ReproError):
     """Raised when analytics are asked to process malformed records."""
 
 
+class RecordSchemaError(AnalysisError):
+    """Raised for records written by a newer, unsupported record schema.
+
+    Subclasses :class:`AnalysisError` so existing handlers keep working,
+    but stays distinguishable from line-level corruption: a version
+    mismatch means the whole store needs newer tooling, so salvage paths
+    (checkpoint torn-tail recovery, ``--skip-malformed``) must not treat
+    it as a damaged line to discard.
+    """
+
+
 class SafetyAssessmentError(ReproError):
     """Raised by the ISO 26262 / SEooC assessment layer."""

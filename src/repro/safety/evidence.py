@@ -9,7 +9,7 @@ the hypervisor towards a potential certification process".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.core.recording import ExperimentRecord
 from repro.errors import SafetyAssessmentError
@@ -73,12 +73,19 @@ class EvidenceReport:
 
 
 def build_evidence_report(
-    records_by_campaign: Dict[str, Sequence[ExperimentRecord]],
+    records_by_campaign: Mapping[str, Iterable[ExperimentRecord]],
     *,
     assessment: Optional[SeoocAssessment] = None,
     remarks: Optional[List[str]] = None,
 ) -> EvidenceReport:
-    """Build an :class:`EvidenceReport` from one or more campaigns' records."""
+    """Build an :class:`EvidenceReport` from one or more campaigns' records.
+
+    Each campaign's records may be any iterable — including the lazy
+    generators from :meth:`~repro.core.recording.RecordStore.iter_records` —
+    and is consumed exactly once. The assessment itself needs several passes
+    (metrics, FMEA, assumption verdicts), so the records are materialized
+    into a single combined list here rather than once per caller.
+    """
     if not records_by_campaign:
         raise SafetyAssessmentError("at least one campaign is required")
     all_records: List[ExperimentRecord] = []

@@ -102,6 +102,65 @@ class TestReportAndSeooc:
         code, _, err = run_cli(capsys, "seooc", str(tmp_path / "empty.jsonl"))
         assert code == 1
 
+    def test_seooc_with_one_missing_path_fails_naming_it(
+            self, capsys, saved_records, tmp_path):
+        """A typo'd path must never silently drop a campaign from the
+        certification evidence: every bad path is a hard error."""
+        missing = tmp_path / "typo.jsonl"
+        code, out, err = run_cli(capsys, "seooc", str(saved_records),
+                                 str(missing))
+        assert code == 1
+        assert str(missing) in err
+        assert "SEooC assessment evidence" not in out
+
+    def test_seooc_with_an_empty_file_fails_naming_it(
+            self, capsys, saved_records, tmp_path):
+        empty = tmp_path / "zero.jsonl"
+        empty.write_text("")
+        code, _, err = run_cli(capsys, "seooc", str(saved_records), str(empty))
+        assert code == 1
+        assert str(empty) in err
+
+    def test_seooc_rejects_the_same_file_given_twice(
+            self, capsys, saved_records):
+        """The same campaign under two names would double-count every test
+        in the certification evidence."""
+        code, out, err = run_cli(capsys, "seooc", str(saved_records),
+                                 str(saved_records))
+        assert code == 1
+        assert "more than once" in err
+        assert "SEooC assessment evidence" not in out
+
+    def test_analyze_matches_report_on_real_campaign_records(
+            self, capsys, saved_records):
+        code, report_out, _ = run_cli(capsys, "report", str(saved_records))
+        assert code == 0
+        code, analyze_out, _ = run_cli(capsys, "analyze", str(saved_records))
+        assert code == 0
+        assert analyze_out == report_out
+
+    def test_analyze_group_by_and_json_on_real_records(
+            self, capsys, saved_records):
+        code, out, _ = run_cli(capsys, "analyze", str(saved_records),
+                               "--group-by", "scenario")
+        assert code == 0
+        assert "grouped by scenario" in out
+        code, out, _ = run_cli(capsys, "analyze", str(saved_records),
+                               "--format", "json")
+        assert code == 0
+        import json
+        assert json.loads(out)["total"] == 3
+
+    def test_compare_two_real_campaigns(self, capsys, saved_records, tmp_path):
+        other = tmp_path / "other.jsonl"
+        run_cli(capsys, "fig3", "--tests", "2", "--duration", "5",
+                "--seed", "11", "--output", str(other))
+        code, out, _ = run_cli(capsys, "compare", str(saved_records),
+                               str(other))
+        assert code == 0
+        assert "records" in out and "other" in out
+        assert "per-outcome delta vs records" in out
+
 
 class TestScenarios:
     def test_park_and_recover_is_reachable_from_the_cli(self, capsys):
