@@ -14,6 +14,8 @@ the campaign execution itself and are secondary to the printed reports.
 from __future__ import annotations
 
 import os
+import platform
+import sys
 from pathlib import Path
 from typing import Callable, Dict, Sequence
 
@@ -30,6 +32,23 @@ PAPER_FIGURE3_REFERENCE: Dict[str, float] = {
 }
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def machine_info() -> Dict[str, object]:
+    """Host fingerprint stamped into every ``BENCH_*.json`` report.
+
+    ``repro-fi bench-history`` compares committed reports across PRs;
+    absolute timings are only meaningful within one machine, so each report
+    records where it ran and the trajectory view flags entries whose
+    fingerprints differ. Old reports without the block are tolerated there.
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
 
 
 def bench_scale() -> float:

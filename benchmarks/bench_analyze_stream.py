@@ -53,6 +53,8 @@ from repro.core.analysis import (                             # noqa: E402
 from repro.core.recording import ExperimentRecord, RecordStore  # noqa: E402
 from repro.core.report import format_analysis, format_distribution  # noqa: E402
 
+from _common import machine_info                              # noqa: E402
+
 SCHEMA = "bench_analyze_stream/v1"
 
 #: Outcome mix roughly shaped like the paper's Figure 3.
@@ -205,6 +207,7 @@ def main(argv=None) -> int:
     report = {
         "schema": SCHEMA,
         "scale": "quick" if count < 200_000 else "full",
+        "machine": machine_info(),
         "records": count,
         "generation_s": round(generation_s, 4),
         "streaming": {

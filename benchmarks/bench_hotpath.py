@@ -48,6 +48,8 @@ from repro.hw.memory import (                                # noqa: E402
     PhysicalMemory,
 )
 
+from _common import machine_info                             # noqa: E402
+
 SCHEMA = "bench_hotpath/v1"
 
 #: Pre-PR reference numbers (seed commit, same benchmark bodies, dev box):
@@ -178,6 +180,7 @@ def run_suite(smoke: bool) -> dict:
         "schema": SCHEMA,
         "created_unix": time.time(),
         "scale": "smoke" if smoke else "full",
+        "machine": machine_info(),
         "calibration_s": calibration,
         "metrics": {
             "memory": memory,

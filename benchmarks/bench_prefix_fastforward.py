@@ -53,6 +53,8 @@ from repro.core.config import CampaignConfig, PartRef           # noqa: E402
 from repro.core.sut import JailhouseSUT, SutConfig              # noqa: E402
 from repro.engine import CampaignEngine                         # noqa: E402
 
+from _common import machine_info                                # noqa: E402
+
 SCHEMA = "bench_prefix_fastforward/v1"
 
 
@@ -203,6 +205,7 @@ def run_suite(smoke: bool) -> dict:
         "schema": SCHEMA,
         "created_unix": time.time(),
         "scale": "smoke" if smoke else "full",
+        "machine": machine_info(),
         "calibration_s": calibration,
         "metrics": {
             "campaign": campaign,

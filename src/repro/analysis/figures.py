@@ -43,6 +43,42 @@ def ascii_pie_summary(data: Mapping[str, float]) -> str:
     return " | ".join(f"{label} {fraction * 100:.1f}%" for label, fraction in parts)
 
 
+#: Eight-level block ramp used by :func:`ascii_sparkline`.
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def ascii_sparkline(values: Sequence[float], *, width: int = 0) -> str:
+    """Render a numeric series as a one-line block-character sparkline.
+
+    Values are scaled to the series' own min..max (a flat series renders as
+    a low bar, not a blank). ``width`` > 0 downsamples to that many columns
+    by bucketing (each column shows its bucket's mean), so an arbitrarily
+    long throughput history fits a fixed dashboard slot.
+    """
+    values = [float(value) for value in values]
+    if not values:
+        return "(no data)"
+    if width > 0 and len(values) > width:
+        bucket = len(values) / width
+        values = [
+            sum(chunk) / len(chunk)
+            for chunk in (
+                values[int(column * bucket):max(int((column + 1) * bucket),
+                                                int(column * bucket) + 1)]
+                for column in range(width)
+            )
+        ]
+    low, high = min(values), max(values)
+    span = high - low
+    if span <= 0:
+        return _SPARK_LEVELS[0] * len(values)
+    top = len(_SPARK_LEVELS) - 1
+    return "".join(
+        _SPARK_LEVELS[int(round((value - low) / span * top))]
+        for value in values
+    )
+
+
 def ascii_series_table(rows: Sequence[Tuple[object, ...]],
                        headers: Sequence[str]) -> str:
     """Render a small table (used by sweep benches)."""

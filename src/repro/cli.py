@@ -19,7 +19,22 @@ reproduction without writing Python:
 * ``repro-fi compare``   — side-by-side outcome comparison of two or more
   saved campaigns (per-outcome deltas, Figure-3 paper reference);
 * ``repro-fi seooc``     — build the ISO 26262 SEooC evidence report from one or
-  more saved campaigns.
+  more saved campaigns;
+* ``repro-fi watch``     — live dashboard for a record file another process is
+  writing (the detached monitor; ``--watch`` on the campaign subcommands is
+  the in-process variant);
+* ``repro-fi bench-history`` — the perf trajectory: every committed version
+  of the ``BENCH_*.json`` reports rendered per metric, with cross-machine
+  entries flagged.
+
+Campaign subcommands grow three observability flags: ``--telemetry PATH``
+streams structured ``repro-telemetry/v1`` events (per-experiment timing with
+the prefix vs post-injection split, checkpoint flushes, queue depth) to a
+JSONL file; ``--watch [PORT]`` serves a live HTML dashboard plus
+``/metrics.json`` and an SSE event tail while the campaign runs
+(``--watch-linger`` keeps it up afterwards); ``--progress-interval`` throttles
+the ``--verbose`` progress lines, which go to stderr so stdout stays clean
+for piping.
 
 Every campaign can persist its records with ``--output records.jsonl`` so the
 slow part (running experiments) is decoupled from analysis and reporting, the
@@ -43,6 +58,7 @@ import argparse
 import itertools
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -97,8 +113,10 @@ from repro.errors import (
     AnalysisError,
     CampaignConfigError,
     CampaignError,
+    ObservabilityError,
     RegistryError,
 )
+from repro.obs.telemetry import Telemetry
 from repro.hypervisor.handlers import ALL_HANDLERS
 from repro.safety.evidence import build_evidence_report
 
@@ -121,8 +139,30 @@ def _save_records(result, output: Optional[str]) -> None:
         print(f"saved {count} records to {output}")
 
 
-def _progress(snapshot, result) -> None:
-    print(f"  {snapshot.format_line()}  {result.outcome.value}")
+class _ProgressPrinter:
+    """Per-experiment progress lines on stderr, optionally throttled.
+
+    Progress goes to stderr so stdout carries only the report — piping
+    ``repro-fi analyze --format json`` (or a campaign summary) into ``jq``
+    or a file never interleaves live lines into the payload. With
+    ``--progress-interval`` only one line per interval prints; the final
+    completion always prints so a finished campaign never looks stuck at
+    its last throttle window.
+    """
+
+    def __init__(self, interval: float = 0.0) -> None:
+        self.interval = interval
+        self._last_printed = float("-inf")
+
+    def __call__(self, snapshot, result) -> None:
+        now = time.monotonic()
+        final = snapshot.completed >= snapshot.total
+        if (not final and self.interval > 0
+                and now - self._last_printed < self.interval):
+            return
+        self._last_printed = now
+        print(f"  {snapshot.format_line()}  {result.outcome.value}",
+              file=sys.stderr)
 
 
 def _sut_factory(args, default: "str | RegistrySutFactory" = "jailhouse"):
@@ -153,6 +193,34 @@ def _parse_chunk_size(raw) -> "int | str | None":
         raise CampaignConfigError(f"--chunk-size: {exc}") from None
 
 
+def _observability(plan, args):
+    """Build the telemetry bus, hub and watch server the flags ask for.
+
+    Returns ``(telemetry, hub, server)`` — any of them ``None`` when the
+    corresponding flag is absent. ``--watch`` without ``--telemetry`` still
+    gets a (sink-less) bus so the SSE event tail works; a bare campaign gets
+    ``(None, None, None)`` and the engine's hot path stays untouched.
+    """
+    telemetry_path = getattr(args, "telemetry", None)
+    telemetry = Telemetry(telemetry_path) if telemetry_path else None
+    watch_port = getattr(args, "watch", None)
+    if watch_port is None:
+        return telemetry, None, None
+    from repro.obs.rollup import TelemetryHub
+    from repro.obs.server import WatchServer
+
+    hub = TelemetryHub()
+    hub.set_campaign(plan.name, total=len(plan),
+                     jobs=getattr(args, "jobs", 1))
+    if telemetry is None:
+        telemetry = Telemetry()
+    telemetry.subscribe(hub.on_event)
+    server = WatchServer(hub, port=watch_port, title=plan.name).start()
+    print(f"watch dashboard: {server.url}  "
+          f"(metrics: {server.url}/metrics.json)", file=sys.stderr)
+    return telemetry, hub, server
+
+
 def _run_plan(plan, args, sut_factory=None, classifier=None,
               prefix_cache_default: bool = False,
               chunk_size_default: "int | str | None" = None):
@@ -167,25 +235,55 @@ def _run_plan(plan, args, sut_factory=None, classifier=None,
     chunk_size = _parse_chunk_size(getattr(args, "chunk_size", None))
     if chunk_size is None:
         chunk_size = chunk_size_default
-    engine = CampaignEngine(
-        plan,
-        jobs=args.jobs,
-        sut_factory=sut_factory if sut_factory is not None else _sut_factory(args),
-        classifier=classifier,
-        checkpoint_path=args.resume,
-        resume=args.resume is not None,
-        chunk_size=chunk_size,
-        pooling=getattr(args, "pooling", False),
-        prefix_cache=prefix_cache,
-        progress=_progress if args.verbose else None,
-    )
-    result = engine.run()
+    telemetry, hub, server = _observability(plan, args)
+    callbacks = []
+    if args.verbose:
+        callbacks.append(
+            _ProgressPrinter(getattr(args, "progress_interval", 0.0) or 0.0))
+    if hub is not None:
+        callbacks.append(hub.on_progress)
+    if not callbacks:
+        progress = None
+    elif len(callbacks) == 1:
+        progress = callbacks[0]
+    else:
+        def progress(snapshot, result, _callbacks=tuple(callbacks)):
+            for callback in _callbacks:
+                callback(snapshot, result)
+    try:
+        engine = CampaignEngine(
+            plan,
+            jobs=args.jobs,
+            sut_factory=sut_factory if sut_factory is not None else _sut_factory(args),
+            classifier=classifier,
+            checkpoint_path=args.resume,
+            resume=args.resume is not None,
+            chunk_size=chunk_size,
+            pooling=getattr(args, "pooling", False),
+            prefix_cache=prefix_cache,
+            progress=progress,
+            telemetry=telemetry,
+        )
+        result = engine.run()
+        if hub is not None:
+            hub.mark_done()
+        if server is not None:
+            linger = getattr(args, "watch_linger", 0.0) or 0.0
+            if linger > 0:
+                print(f"watch server lingering {linger:g} s at {server.url}",
+                      file=sys.stderr)
+                time.sleep(linger)
+    finally:
+        if server is not None:
+            server.stop()
+        if telemetry is not None:
+            telemetry.close()
     stats = result.prefix_cache_stats()
     if stats["hits"] or stats["misses"]:
         executed = stats["hits"] + stats["misses"]
         print(f"prefix cache: {stats['hits']} hits / {stats['misses']} "
               f"misses ({stats['hits'] / executed:.0%} of cached "
-              f"experiments fast-forwarded)")
+              f"experiments fast-forwarded)", file=sys.stderr)
     return result
 
 
@@ -419,6 +517,99 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _tail_lines(path: Path, *, poll_s: float, deadline: float):
+    """Yield complete lines appended to ``path`` until ``deadline``.
+
+    Reads from a remembered byte offset and only yields newline-terminated
+    lines, so a record the campaign is mid-way through writing is never
+    parsed half-done; the partial tail stays buffered until its newline
+    arrives. The file may not exist yet — the tailer waits for it.
+    """
+    offset = 0
+    buffer = b""
+    while True:
+        if path.exists():
+            with path.open("rb") as handle:
+                handle.seek(offset)
+                chunk = handle.read()
+            if chunk:
+                offset += len(chunk)
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if line.strip():
+                        yield line.decode("utf-8")
+        if time.monotonic() >= deadline:
+            return
+        time.sleep(poll_s)
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    """Serve the live dashboard for a record file another process writes.
+
+    This is the detached-monitor mode: a campaign checkpointing to
+    ``records.jsonl`` (via ``--resume`` or ``--output``) can be watched from
+    a second terminal — or a CI job — without the campaign knowing. The
+    in-process variant is ``--watch`` on the campaign subcommands.
+    """
+    from repro.engine.aggregate import LiveAggregator
+    from repro.obs.rollup import TelemetryHub
+    from repro.obs.server import WatchServer
+
+    records_path = Path(args.records)
+    hub = TelemetryHub()
+    hub.set_campaign(records_path.stem, total=args.total,
+                     source=str(records_path))
+    aggregator = LiveAggregator(args.total)
+    deadline = (time.monotonic() + args.timeout
+                if args.timeout is not None else float("inf"))
+    with WatchServer(hub, port=args.port,
+                     title=f"watch: {records_path.name}") as server:
+        print(f"watch dashboard: {server.url}  "
+              f"(metrics: {server.url}/metrics.json)", file=sys.stderr)
+        seen = 0
+        try:
+            for line in _tail_lines(records_path, poll_s=args.poll,
+                                    deadline=deadline):
+                try:
+                    record = ExperimentRecord.from_json(line)
+                except AnalysisError as exc:
+                    print(f"warning: skipping malformed record line: {exc}",
+                          file=sys.stderr)
+                    continue
+                result = record.to_result()
+                hub.on_progress(aggregator.update(result), result)
+                seen += 1
+                if args.total and seen >= args.total:
+                    break
+        except KeyboardInterrupt:
+            pass
+        hub.mark_done()
+    if seen == 0:
+        print(f"no records observed in {records_path}", file=sys.stderr)
+        return 1
+    print(aggregator.snapshot().summary())
+    return 0
+
+
+def cmd_bench_history(args: argparse.Namespace) -> int:
+    """Render the perf trajectory of the committed ``BENCH_*.json`` files."""
+    from repro.obs.bench_history import (
+        collect_bench_history,
+        format_history_markdown,
+        format_history_text,
+    )
+
+    history = collect_bench_history(args.root, include_git=not args.no_git)
+    if args.format == "json":
+        print(json.dumps(history.to_dict(), indent=2, sort_keys=True))
+    elif args.format == "markdown":
+        print(format_history_markdown(history, metric_filter=args.metric))
+    else:
+        print(format_history_text(history, metric_filter=args.metric))
+    return 0
+
+
 def cmd_seooc(args: argparse.Namespace) -> int:
     # Every path must exist, contain records, and appear only once: the
     # evidence report backs a certification argument, so a typo'd path
@@ -477,6 +668,31 @@ def build_parser() -> argparse.ArgumentParser:
                                   "'auto' sizes tasks for very short "
                                   "experiments")
         command.add_argument("--verbose", action="store_true")
+        command.add_argument("--progress-interval", type=float, default=0.0,
+                             metavar="SECONDS",
+                             help="with --verbose: print at most one "
+                                  "progress line per SECONDS (default 0: "
+                                  "every completion); the final line always "
+                                  "prints")
+        command.add_argument("--telemetry", metavar="PATH",
+                             help="write structured telemetry events "
+                                  "(repro-telemetry/v1 JSONL) to PATH: "
+                                  "campaign start/end, per-experiment "
+                                  "timing with prefix/post-injection "
+                                  "split, checkpoint flushes")
+        command.add_argument("--watch", nargs="?", const=0, type=int,
+                             default=None, metavar="PORT",
+                             help="serve a live dashboard while the "
+                                  "campaign runs: / (HTML), /metrics.json, "
+                                  "/dashboard.txt, /events (SSE); PORT "
+                                  "defaults to an ephemeral one, printed "
+                                  "on stderr")
+        command.add_argument("--watch-linger", type=float, default=0.0,
+                             metavar="SECONDS",
+                             help="keep the --watch server up SECONDS "
+                                  "after the campaign finishes (so CI or "
+                                  "a slow browser can grab the final "
+                                  "state)")
 
     golden = sub.add_parser("golden", help="profile a fault-free run")
     golden.add_argument("--duration", type=float, default=20.0)
@@ -573,6 +789,44 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--format", choices=["text", "json"], default="text")
     compare.set_defaults(func=cmd_compare)
 
+    watch = sub.add_parser(
+        "watch",
+        help="serve the live dashboard for a record file another process "
+             "is writing (detached monitor for --resume/--output campaigns)")
+    watch.add_argument("records",
+                       help="path to the .jsonl record file to tail "
+                            "(may not exist yet)")
+    watch.add_argument("--port", type=int, default=0,
+                       help="HTTP port (default: ephemeral, printed on "
+                            "stderr)")
+    watch.add_argument("--total", type=int, default=0,
+                       help="expected experiment count (for progress "
+                            "display; watch exits once reached)")
+    watch.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="exit after SECONDS (default: run until "
+                            "interrupted or --total is reached)")
+    watch.add_argument("--poll", type=float, default=0.5, metavar="SECONDS",
+                       help="file poll interval (default 0.5)")
+    watch.set_defaults(func=cmd_watch)
+
+    bench_history = sub.add_parser(
+        "bench-history",
+        help="perf trajectory: every committed version of the BENCH_*.json "
+             "reports, per-metric, flagged when entries span machines")
+    bench_history.add_argument("--root", default=".",
+                               help="repository root holding the "
+                                    "BENCH_*.json files (default: .)")
+    bench_history.add_argument("--format",
+                               choices=["text", "json", "markdown"],
+                               default="text")
+    bench_history.add_argument("--metric", metavar="SUBSTRING",
+                               help="only show metrics whose dotted name "
+                                    "contains SUBSTRING")
+    bench_history.add_argument("--no-git", action="store_true",
+                               help="worktree files only; skip git history")
+    bench_history.set_defaults(func=cmd_bench_history)
+
     seooc = sub.add_parser("seooc", help="build the SEooC evidence report")
     seooc.add_argument("records", nargs="+",
                        help="one or more .jsonl record files (one per campaign)")
@@ -598,6 +852,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # Malformed/incompatible record files (bad JSON lines, newer
         # schema_version, ...) are data errors: name the file and line
         # instead of a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except ObservabilityError as exc:
+        # Unbindable watch ports, missing benchmark reports, invalid
+        # telemetry files: environment/data errors, not tracebacks.
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

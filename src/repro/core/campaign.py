@@ -171,7 +171,8 @@ class Campaign:
             resume: bool = False,
             pooling: bool = False,
             prefix_cache: bool = False,
-            chunk_size: "int | str | None" = None) -> CampaignResult:
+            chunk_size: "int | str | None" = None,
+            telemetry=None) -> CampaignResult:
         """Execute every experiment in the plan.
 
         Execution is delegated to the :class:`~repro.engine.runner.
@@ -189,7 +190,9 @@ class Campaign:
         to cold execution (it implies ``pooling`` so all cached prefixes
         share one SUT per worker). ``chunk_size`` groups pool tasks
         (``"auto"`` derives a size from the queue; see
-        :func:`~repro.engine.scheduler.suggest_chunk_size`).
+        :func:`~repro.engine.scheduler.suggest_chunk_size`). ``telemetry``
+        attaches a :class:`~repro.obs.telemetry.Telemetry` bus for live
+        observability (structured events + the ``watch`` dashboard).
         """
         # Imported here: the engine returns this module's CampaignResult, so a
         # top-level import would be circular.
@@ -212,6 +215,7 @@ class Campaign:
             prefix_cache=prefix_cache,
             chunk_size=chunk_size,
             progress=engine_progress,
+            telemetry=telemetry,
         )
         campaign_result = engine.run()
         if golden:

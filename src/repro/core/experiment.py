@@ -231,6 +231,16 @@ class ExperimentResult:
     #: excluded from :class:`~repro.core.recording.ExperimentRecord`, so
     #: cached and cold campaigns stay record-for-record identical.
     prefix_cache_hit: Optional[bool] = None
+    #: Wall-clock seconds spent reaching the injection point — the golden
+    #: bring-up on a cold run, or the snapshot fork on a prefix-cache hit.
+    #: The post-injection time is ``wall_time - prefix_wall_time``. Like
+    #: :attr:`prefix_cache_hit`, execution bookkeeping only: excluded from
+    #: records so instrumented and bare campaigns persist identical data.
+    prefix_wall_time: Optional[float] = None
+    #: OS pid of the worker process that executed this experiment (the
+    #: parent's own pid for in-process runs); ``None`` for restored records.
+    #: Telemetry uses it for per-worker utilization. Not persisted.
+    worker_id: Optional[int] = None
 
     @property
     def failed(self) -> bool:
@@ -269,7 +279,10 @@ class Experiment:
         sut = self.sut_factory(self.spec.seed)
         try:
             self.run_prefix(sut)
-            return self.run_from_snapshot(sut, wall_start=started)
+            prefix_elapsed = time.perf_counter() - started
+            result = self.run_from_snapshot(sut, wall_start=started)
+            result.prefix_wall_time = prefix_elapsed
+            return result
         finally:
             sut.teardown()
 

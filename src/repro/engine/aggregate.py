@@ -62,6 +62,49 @@ class AggregateSnapshot:
             line += f", prefix cache {self.prefix_hits}h/{self.prefix_misses}m"
         return line
 
+    def summary(self) -> str:
+        """Multi-line end-of-campaign summary (CLI + watch dashboard).
+
+        Outcome lines are ordered by descending count (count ties broken by
+        name, for stable output), and the prefix-cache line appears only
+        when the cache actually served something — a bare run's summary
+        shows no cache noise.
+        """
+        lines = [
+            f"campaign: {self.completed}/{self.total} experiments "
+            f"({self.resumed} resumed) in {self.elapsed:.1f} s "
+            f"({self.throughput:.1f} tests/s)",
+            f"failure rate {self.failure_rate:.1%}, "
+            f"{self.injections} injections",
+        ]
+        for outcome, count in sorted(self.outcome_counts.items(),
+                                     key=lambda item: (-item[1], item[0])):
+            share = count / self.completed if self.completed else 0.0
+            lines.append(f"  {outcome:<20} {count:>6}  {share:6.1%}")
+        if self.prefix_hits or self.prefix_misses:
+            lines.append(
+                f"prefix cache: {self.prefix_hits} hits / "
+                f"{self.prefix_misses} misses"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable view (the ``/metrics.json`` snapshot body)."""
+        return {
+            "total": self.total,
+            "completed": self.completed,
+            "resumed": self.resumed,
+            "executed": self.executed,
+            "outcome_counts": dict(self.outcome_counts),
+            "failures": self.failures,
+            "failure_rate": self.failure_rate,
+            "injections": self.injections,
+            "elapsed_s": self.elapsed,
+            "throughput_per_s": self.throughput,
+            "prefix_hits": self.prefix_hits,
+            "prefix_misses": self.prefix_misses,
+        }
+
 
 #: Engine progress callback: called once per completed experiment with the
 #: rolling aggregate and the result that just landed.

@@ -14,6 +14,13 @@ here). It composes the other engine modules:
 * :mod:`repro.engine.aggregate` folds results into rolling statistics
   surfaced through the progress callback.
 
+With a :class:`~repro.obs.telemetry.Telemetry` bus attached the same result
+loop also emits structured events (campaign start/end, one
+``experiment_complete`` per result with its timing split and worker id,
+checkpoint flushes) — the seam is identical to the progress callback, so
+instrumentation rides on the parent process's existing per-result work and a
+disabled bus costs one attribute check per result.
+
 At the paper's campaign sizes (hundreds of one-minute tests per target
 function / register class / injection rate, several campaigns per table) the
 sequential loop is the bottleneck; the engine makes a campaign scale with the
@@ -22,7 +29,10 @@ machine while keeping results reproducible experiment-for-experiment.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs is optional)
+    from repro.obs.telemetry import Telemetry
 
 from repro.core.campaign import CampaignResult
 from repro.core.experiment import (
@@ -62,7 +72,8 @@ class CampaignEngine:
                  pooling: bool = False,
                  prefix_cache: bool = False,
                  prefix_cache_size: int = DEFAULT_PREFIX_CACHE_SIZE,
-                 progress: Optional[EngineProgress] = None) -> None:
+                 progress: Optional[EngineProgress] = None,
+                 telemetry: "Telemetry | None" = None) -> None:
         plan.validate()
         if resume and checkpoint_path is None:
             raise CampaignError("resume requires a checkpoint path")
@@ -97,6 +108,11 @@ class CampaignEngine:
         self.pooling = pooling or prefix_cache
         self.prefix_cache_size = prefix_cache_size
         self.progress = progress
+        #: Optional :class:`~repro.obs.telemetry.Telemetry` bus. ``None`` (or
+        #: an inactive bus) keeps the result loop exactly as fast as before —
+        #: every emit site is guarded by one truthiness check.
+        self.telemetry = telemetry if (telemetry is not None
+                                       and telemetry.active) else None
 
     def run(self) -> CampaignResult:
         """Execute the plan and return results in plan order.
@@ -108,6 +124,19 @@ class CampaignEngine:
         total = len(self.plan)
         slots: List[Optional[ExperimentResult]] = [None] * total
         aggregator = LiveAggregator(total)
+        telemetry = self.telemetry
+        if telemetry:
+            telemetry.emit(
+                "campaign_start",
+                plan=self.plan.name,
+                total=total,
+                jobs=self.jobs,
+                pooling=self.pooling,
+                prefix_cache=self.prefix_cache,
+                resume=self.resume,
+                checkpoint=(str(self.checkpoint.path)
+                            if self.checkpoint is not None else None),
+            )
 
         skip = set()
         if self.checkpoint is not None:
@@ -126,6 +155,11 @@ class CampaignEngine:
             slots[index] = restored
             if restored is not None:
                 snapshot = aggregator.restore(restored)
+                if telemetry:
+                    telemetry.emit("experiment_restored",
+                                   spec=restored.spec_name,
+                                   index=index,
+                                   outcome=restored.outcome.value)
                 if self.progress is not None:
                     self.progress(snapshot, restored)
 
@@ -149,9 +183,42 @@ class CampaignEngine:
             slots[index] = result
             if self.checkpoint is not None:
                 self.checkpoint.commit(specs_by_index[index], result)
+                if telemetry:
+                    telemetry.emit("checkpoint_flush",
+                                   path=str(self.checkpoint.path),
+                                   records=len(self.checkpoint))
             snapshot = aggregator.update(result)
+            if telemetry:
+                telemetry.emit(
+                    "experiment_complete",
+                    spec=result.spec_name,
+                    index=index,
+                    outcome=result.outcome.value,
+                    wall_s=result.wall_time,
+                    prefix_wall_s=result.prefix_wall_time,
+                    worker=result.worker_id,
+                    prefix_cache_hit=result.prefix_cache_hit,
+                    injections=result.injections,
+                    completed=snapshot.completed,
+                    queue_depth=total - snapshot.completed,
+                    throughput_per_s=snapshot.throughput,
+                )
             if self.progress is not None:
                 self.progress(snapshot, result)
+
+        if telemetry:
+            final = aggregator.snapshot()
+            telemetry.emit(
+                "campaign_end",
+                plan=self.plan.name,
+                completed=final.completed,
+                resumed=final.resumed,
+                elapsed_s=final.elapsed,
+                failures=final.failures,
+                outcome_counts=final.outcome_counts,
+                prefix_hits=final.prefix_hits,
+                prefix_misses=final.prefix_misses,
+            )
 
         missing = [index for index, slot in enumerate(slots) if slot is None]
         if missing:

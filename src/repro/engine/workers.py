@@ -209,7 +209,10 @@ def _run_item_prefix_cached(experiment: Experiment,
             cache.bypasses += 1
             try:
                 experiment.run_prefix(sut)
-                return experiment.run_from_snapshot(sut, wall_start=started)
+                prefix_elapsed = time.perf_counter() - started
+                result = experiment.run_from_snapshot(sut, wall_start=started)
+                result.prefix_wall_time = prefix_elapsed
+                return result
             finally:
                 sut.teardown()
         hit = False
@@ -223,10 +226,12 @@ def _run_item_prefix_cached(experiment: Experiment,
             experiment.run_prefix(sut)
             if cache.worth_caching(key):
                 cache.put(key, sut, sut.snapshot())
+        prefix_elapsed = time.perf_counter() - started
         result = experiment.run_from_snapshot(sut, wall_start=started)
     finally:
         sut.teardown()
     result.prefix_cache_hit = hit
+    result.prefix_wall_time = prefix_elapsed
     return result
 
 
@@ -268,8 +273,13 @@ def _run_item(item: WorkItem, sut_factory: SutFactory,
                             sut_factory=_factory_for_spec(item.spec, sut_factory),
                             classifier=classifier)
     if prefix_cache is None or item.spec.cold_boot:
-        return item.index, experiment.run()
-    return item.index, _run_item_prefix_cached(experiment, prefix_cache)
+        result = experiment.run()
+    else:
+        result = _run_item_prefix_cached(experiment, prefix_cache)
+    # Stamped here (not in Experiment) so the id is the executing process's —
+    # the telemetry layer folds these into per-worker utilization.
+    result.worker_id = os.getpid()
+    return item.index, result
 
 
 def _run_chunk(chunk: Sequence[WorkItem]) -> List[IndexedResult]:

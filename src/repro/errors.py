@@ -134,3 +134,13 @@ class RecordSchemaError(AnalysisError):
 
 class SafetyAssessmentError(ReproError):
     """Raised by the ISO 26262 / SEooC assessment layer."""
+
+
+class ObservabilityError(ReproError):
+    """Raised by the live-observability layer (telemetry, watch, bench-history).
+
+    Covers malformed telemetry event files, watch-server misuse, and
+    unreadable ``BENCH_*.json`` trajectories — operational tooling errors,
+    kept distinct from :class:`AnalysisError` (experiment record data) so a
+    broken dashboard can never be mistaken for broken campaign results.
+    """

@@ -1,0 +1,52 @@
+"""Live campaign observability.
+
+A running campaign used to be a black box until its records hit disk; this
+package gives it eyes, in three layers:
+
+* :mod:`repro.obs.telemetry` — a lightweight event bus with per-experiment
+  timing, worker utilization, queue depth, checkpoint flushes, and the
+  prefix-cache counters, persisted as structured JSONL
+  (``events.jsonl``, schema ``repro-telemetry/v1``);
+* :mod:`repro.obs.rollup` + :mod:`repro.obs.server` +
+  :mod:`repro.obs.dashboard` — ``repro-fi watch`` / ``--watch``: a stdlib
+  HTTP server exposing ``/metrics.json``, an ``/events`` SSE tail, and a
+  single-file HTML dashboard over the live aggregates;
+* :mod:`repro.obs.bench_history` — ``repro-fi bench-history``: the committed
+  ``BENCH_*.json`` perf trajectory across git history, so regressions are
+  visible between PRs, not just gated in CI.
+
+Everything is import-light (stdlib only) and lazy, mirroring
+:mod:`repro.analysis`: importing :mod:`repro.obs` must not pull the HTTP
+server or git plumbing into engine workers.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "TELEMETRY_SCHEMA": "repro.obs.telemetry",
+    "Telemetry": "repro.obs.telemetry",
+    "TelemetryEvent": "repro.obs.telemetry",
+    "validate_event_dict": "repro.obs.telemetry",
+    "validate_events_file": "repro.obs.telemetry",
+    "TelemetryHub": "repro.obs.rollup",
+    "WatchServer": "repro.obs.server",
+    "render_dashboard_html": "repro.obs.dashboard",
+    "render_text_dashboard": "repro.obs.dashboard",
+    "BenchHistory": "repro.obs.bench_history",
+    "collect_bench_history": "repro.obs.bench_history",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,182 @@
+"""The ``watch`` HTTP server: live campaign state over stdlib HTTP.
+
+A :class:`WatchServer` wraps a :class:`~repro.obs.rollup.TelemetryHub` and
+serves three endpoints from a daemon thread:
+
+``/``
+    The single-file HTML dashboard (:mod:`repro.obs.dashboard`).
+``/metrics.json``
+    The current metrics payload (schema ``repro-metrics/v1``): aggregate
+    snapshot, per-worker utilization, throughput history, convergence CI
+    width, prefix/post-injection timing split, and ascii renderings.
+``/dashboard.txt``
+    The terminal rendering of the same payload (handy over ``curl``).
+``/events``
+    Server-sent-events tail of the telemetry stream: one ``data:`` line per
+    ``repro-telemetry/v1`` event, pre-seeded with the retained tail.
+
+Everything is stdlib (``http.server``), binds to loopback by default, and is
+strictly read-only over derived state — the server can be killed at any
+moment without touching the campaign. DAVOS makes "launch *and monitor* all
+SBFI phases" a top-level concern; this is that, minus the Sun Grid Engine.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+from http import HTTPStatus
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.errors import ObservabilityError
+from repro.obs.dashboard import render_dashboard_html, render_text_dashboard
+from repro.obs.rollup import TelemetryHub
+
+#: Seconds between SSE keep-alive comments when no events arrive; also the
+#: poll granularity for noticing a closed server while a client is attached.
+_SSE_KEEPALIVE_S = 1.0
+
+
+class _WatchHandler(BaseHTTPRequestHandler):
+    """One request; the hub and page are attached to the server object."""
+
+    server: "_WatchHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # The default handler logs every request to stderr; a dashboard polling
+    # once a second would drown the campaign's own progress output.
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    def _send_body(self, body: bytes, content_type: str,
+                   status: HTTPStatus = HTTPStatus.OK) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path in ("/", "/index.html", "/dashboard"):
+            self._send_body(self.server.dashboard_html.encode("utf-8"),
+                            "text/html; charset=utf-8")
+        elif path == "/metrics.json":
+            payload = json.dumps(self.server.hub.metrics(), sort_keys=True)
+            self._send_body(payload.encode("utf-8"),
+                            "application/json; charset=utf-8")
+        elif path == "/dashboard.txt":
+            text = render_text_dashboard(self.server.hub.metrics())
+            self._send_body((text + "\n").encode("utf-8"),
+                            "text/plain; charset=utf-8")
+        elif path == "/events":
+            self._stream_events()
+        else:
+            self._send_body(b"not found: try /, /metrics.json, "
+                            b"/dashboard.txt or /events\n",
+                            "text/plain; charset=utf-8",
+                            status=HTTPStatus.NOT_FOUND)
+
+    def _stream_events(self) -> None:
+        subscriber = self.server.hub.subscribe_events()
+        try:
+            self.send_response(HTTPStatus.OK)
+            self.send_header("Content-Type", "text/event-stream")
+            self.send_header("Cache-Control", "no-store")
+            # SSE is an unbounded stream: no Content-Length, and the
+            # connection closes when either side goes away.
+            self.send_header("Connection", "close")
+            self.end_headers()
+            while not self.server.closing.is_set():
+                try:
+                    event = subscriber.get(timeout=_SSE_KEEPALIVE_S)
+                except queue.Empty:
+                    self.wfile.write(b": keepalive\n\n")
+                    self.wfile.flush()
+                    continue
+                data = json.dumps(event, sort_keys=True)
+                self.wfile.write(f"data: {data}\n\n".encode("utf-8"))
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass                        # client went away; normal
+        finally:
+            self.server.hub.unsubscribe_events(subscriber)
+
+
+class _WatchHTTPServer(ThreadingHTTPServer):
+    # Each SSE client holds a thread open for the whole campaign; daemon
+    # threads let the process exit without herding them.
+    daemon_threads = True
+
+    def __init__(self, address, hub: TelemetryHub, dashboard_html: str) -> None:
+        super().__init__(address, _WatchHandler)
+        self.hub = hub
+        self.dashboard_html = dashboard_html
+        self.closing = threading.Event()
+
+
+class WatchServer:
+    """Serves a hub over HTTP from a background thread.
+
+    ``port=0`` binds an ephemeral port; read :attr:`port`/:attr:`url` after
+    :meth:`start`. The server is loopback-only by default — a fault-injection
+    dashboard has no business on an external interface unless the operator
+    says so explicitly.
+    """
+
+    def __init__(self, hub: TelemetryHub, *, host: str = "127.0.0.1",
+                 port: int = 0, title: str = "repro-fi campaign") -> None:
+        self.hub = hub
+        self.host = host
+        self.requested_port = port
+        self.title = title
+        self._server: Optional[_WatchHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise ObservabilityError("watch server is not running")
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "WatchServer":
+        if self._server is not None:
+            raise ObservabilityError("watch server is already running")
+        try:
+            self._server = _WatchHTTPServer(
+                (self.host, self.requested_port), self.hub,
+                render_dashboard_html(self.title))
+        except OSError as exc:
+            raise ObservabilityError(
+                f"cannot bind watch server on {self.host}:"
+                f"{self.requested_port}: {exc}"
+            ) from None
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-watch-server", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.closing.set()
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> "WatchServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -299,13 +299,15 @@ class TestRunAndList:
 
 class TestPrefixCacheAndChunkSizeFlags:
     def test_prefix_cache_flag_reports_counters(self, capsys):
-        code, out, _ = run_cli(
+        code, out, err = run_cli(
             capsys, "campaign", "--tests", "2", "--duration", "2",
             "--prefix-cache",
         )
         assert code == 0
-        assert "prefix cache:" in out
-        assert "misses" in out
+        # Diagnostics live on stderr so stdout stays pipeable.
+        assert "prefix cache:" in err
+        assert "misses" in err
+        assert "prefix cache:" not in out
 
     def test_no_prefix_cache_overrides_a_config_that_enables_it(
             self, capsys, tmp_path):
@@ -315,13 +317,13 @@ class TestPrefixCacheAndChunkSizeFlags:
             'tests = 2\nduration = 2.0\nprefix_cache = true\n'
             '[[target]]\nkind = "nonroot-trap"\n'
         )
-        code, out, _ = run_cli(capsys, "run", str(config))
+        code, _, err = run_cli(capsys, "run", str(config))
         assert code == 0
-        assert "prefix cache:" in out
-        code, out, _ = run_cli(capsys, "run", str(config),
+        assert "prefix cache:" in err
+        code, _, err = run_cli(capsys, "run", str(config),
                                "--no-prefix-cache")
         assert code == 0
-        assert "prefix cache:" not in out
+        assert "prefix cache:" not in err
 
     def test_chunk_size_accepts_auto_and_integers(self, capsys):
         for value in ("auto", "2"):
@@ -349,3 +351,109 @@ class TestPrefixCacheAndChunkSizeFlags:
         code, _, err = run_cli(capsys, "run", str(config))
         assert code == 2
         assert "chunk_size" in err
+
+
+class TestObservabilityFlags:
+    def test_progress_goes_to_stderr_not_stdout(self, capsys):
+        code, out, err = run_cli(
+            capsys, "campaign", "--tests", "3", "--duration", "2",
+            "--verbose",
+        )
+        assert code == 0
+        assert "failure rate" in err          # live progress lines
+        assert "tests/s" in err
+        assert "[   1/3]" not in out          # no progress interleaved
+        assert "Campaign:" in out             # the report stays on stdout
+
+    def test_progress_interval_throttles_but_final_line_prints(self, capsys):
+        code, _, err = run_cli(
+            capsys, "campaign", "--tests", "4", "--duration", "2",
+            "--verbose", "--progress-interval", "3600",
+        )
+        assert code == 0
+        progress = [line for line in err.splitlines() if "tests/s" in line]
+        # First completion opens the interval window; the final one always
+        # prints; everything in between is throttled away.
+        assert len(progress) == 2
+        assert "[   4/4]" in progress[-1]
+
+    def test_telemetry_flag_writes_a_valid_event_file(self, capsys, tmp_path):
+        from repro.obs.telemetry import validate_events_file
+
+        events = tmp_path / "events.jsonl"
+        code, _, _ = run_cli(
+            capsys, "campaign", "--tests", "3", "--duration", "2",
+            "--jobs", "2", "--telemetry", str(events),
+        )
+        assert code == 0
+        assert validate_events_file(events) == 3 + 2   # starts/ends bracket
+
+    def test_watch_flag_announces_the_dashboard_url(self, capsys):
+        import re
+
+        code, _, err = run_cli(
+            capsys, "fig3", "--tests", "2", "--duration", "2",
+            "--watch", "--watch-linger", "0",
+        )
+        assert code == 0
+        assert re.search(r"watch dashboard: http://127\.0\.0\.1:\d+", err)
+
+    def test_watch_subcommand_tails_a_record_file(self, capsys, tmp_path):
+        records = tmp_path / "records.jsonl"
+        run_cli(capsys, "fig3", "--tests", "2", "--duration", "2",
+                "--output", str(records))
+        code, out, err = run_cli(
+            capsys, "watch", str(records), "--total", "2", "--timeout", "10",
+            "--poll", "0.05",
+        )
+        assert code == 0
+        assert "watch dashboard:" in err
+        assert "campaign: 2/" in out          # final summary on stdout
+
+    def test_watch_subcommand_empty_file_fails(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "watch", str(tmp_path / "never.jsonl"),
+            "--timeout", "0.2", "--poll", "0.05",
+        )
+        assert code == 1
+        assert "no records observed" in err
+
+
+class TestBenchHistoryCommand:
+    @pytest.fixture
+    def bench_root(self, tmp_path):
+        import json
+        (tmp_path / "BENCH_x.json").write_text(json.dumps({
+            "schema": "bench_x/v1", "scale": "full",
+            "metrics": {"campaign": {"wall_s": 2.0}},
+        }))
+        return tmp_path
+
+    def test_text_output(self, capsys, bench_root):
+        code, out, _ = run_cli(capsys, "bench-history",
+                               "--root", str(bench_root), "--no-git")
+        assert code == 0
+        assert "BENCH_x.json" in out
+        assert "metrics.campaign.wall_s" in out
+
+    def test_json_output(self, capsys, bench_root):
+        import json
+        code, out, _ = run_cli(capsys, "bench-history",
+                               "--root", str(bench_root), "--no-git",
+                               "--format", "json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["schema"] == "repro-bench-history/v1"
+
+    def test_empty_root_is_a_clean_error(self, capsys, tmp_path):
+        code, _, err = run_cli(capsys, "bench-history",
+                               "--root", str(tmp_path), "--no-git")
+        assert code == 1
+        assert "no benchmark reports" in err
+
+    def test_repo_history_renders(self, capsys):
+        # Against the real repo: three committed BENCH files.
+        code, out, _ = run_cli(capsys, "bench-history",
+                               "--root", str(EXAMPLES.parent))
+        assert code == 0
+        assert "BENCH_hotpath.json" in out

@@ -1,0 +1,64 @@
+"""AggregateSnapshot.summary()/to_dict() formatting (observability surface)."""
+
+from repro.engine.aggregate import AggregateSnapshot
+
+
+def snapshot(**overrides):
+    fields = dict(
+        total=10, completed=10, resumed=2,
+        outcome_counts={"correct": 6, "panic_park": 3, "cpu_park": 1},
+        failures=4, injections=25, elapsed=4.0,
+        prefix_hits=0, prefix_misses=0,
+    )
+    fields.update(overrides)
+    return AggregateSnapshot(**fields)
+
+
+class TestSummary:
+    def test_headline_and_outcome_lines(self):
+        text = snapshot().summary()
+        lines = text.splitlines()
+        assert lines[0] == ("campaign: 10/10 experiments (2 resumed) "
+                            "in 4.0 s (2.0 tests/s)")
+        assert lines[1] == "failure rate 40.0%, 25 injections"
+        # Outcomes ordered by descending count, aligned columns.
+        assert lines[2].split() == ["correct", "6", "60.0%"]
+        assert lines[3].split() == ["panic_park", "3", "30.0%"]
+        assert lines[4].split() == ["cpu_park", "1", "10.0%"]
+
+    def test_count_ties_break_by_name_for_stable_output(self):
+        text = snapshot(
+            outcome_counts={"panic_park": 5, "correct": 5}).summary()
+        outcome_lines = text.splitlines()[2:]
+        assert outcome_lines[0].split()[0] == "correct"
+        assert outcome_lines[1].split()[0] == "panic_park"
+
+    def test_prefix_cache_line_only_when_the_cache_served(self):
+        assert "prefix cache" not in snapshot().summary()
+        with_cache = snapshot(prefix_hits=7, prefix_misses=3).summary()
+        assert with_cache.splitlines()[-1] == "prefix cache: 7 hits / 3 misses"
+        misses_only = snapshot(prefix_misses=2).summary()
+        assert "prefix cache: 0 hits / 2 misses" in misses_only
+
+    def test_empty_campaign_summary_does_not_divide_by_zero(self):
+        text = snapshot(total=0, completed=0, resumed=0, outcome_counts={},
+                        failures=0, injections=0, elapsed=0.0).summary()
+        assert "0/0 experiments" in text
+
+
+class TestToDict:
+    def test_round_trips_every_field(self):
+        data = snapshot(prefix_hits=4, prefix_misses=1).to_dict()
+        assert data["total"] == 10
+        assert data["executed"] == 8          # completed minus resumed
+        assert data["failure_rate"] == 0.4
+        assert data["throughput_per_s"] == 2.0
+        assert data["outcome_counts"]["correct"] == 6
+        assert data["prefix_hits"] == 4
+        assert data["prefix_misses"] == 1
+
+    def test_counts_are_copied_not_aliased(self):
+        snap = snapshot()
+        data = snap.to_dict()
+        data["outcome_counts"]["correct"] = 999
+        assert snap.outcome_counts["correct"] == 6

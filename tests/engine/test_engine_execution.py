@@ -61,6 +61,21 @@ class TestProgressAndAggregation:
         assert 0.0 <= final.failure_rate <= 1.0
         assert final.executed == len(plan)
 
+    def test_progress_fires_exactly_once_per_experiment_with_jobs(self, plan):
+        # The observability layer (telemetry, watch hub) rides this seam, so
+        # a duplicate or dropped callback would corrupt every live metric:
+        # each completed experiment must fire exactly one callback, in the
+        # parent process, regardless of worker count or chunking.
+        for jobs, chunk_size in ((2, 1), (2, 3), (4, "auto")):
+            calls = []
+            CampaignEngine(
+                plan, jobs=jobs, chunk_size=chunk_size,
+                progress=lambda snapshot, result: calls.append(
+                    result.spec_name),
+            ).run()
+            assert len(calls) == len(plan)
+            assert len(set(calls)) == len(plan)   # no spec reported twice
+
     def test_legacy_progress_callback_still_works(self, plan):
         seen = []
         Campaign(plan).run(

@@ -7,6 +7,7 @@ experiment observes.
 """
 
 import dataclasses
+from types import SimpleNamespace
 
 import pytest
 
@@ -357,11 +358,14 @@ class TestSharedPrefixParity:
 
             def run_from_snapshot(self, sut, wall_start=None):
                 assert sut is self.prefix_sut
-                return "cold-result"
+                return SimpleNamespace(name="cold-result",
+                                       prefix_wall_time=None)
 
         cache = PrefixSnapshotCache(2)
         experiment = FakeExperiment()
-        assert _run_item_prefix_cached(experiment, cache) == "cold-result"
+        result = _run_item_prefix_cached(experiment, cache)
+        assert result.name == "cold-result"
+        assert result.prefix_wall_time is not None   # bypass still times it
         assert (cache.bypasses, cache.hits, cache.misses) == (1, 0, 0)
         assert len(cache) == 0               # nothing was cached
         assert len(torn_down) == 1           # the cold SUT was torn down

@@ -1,0 +1,43 @@
+"""Dashboard rendering: the HTML page and its terminal twin."""
+
+from repro.core.outcomes import Outcome
+from repro.obs.dashboard import (
+    OUTCOME_COLORS,
+    OUTCOME_ORDER,
+    render_dashboard_html,
+    render_text_dashboard,
+)
+from repro.obs.rollup import TelemetryHub
+
+
+class TestHtml:
+    def test_page_is_self_contained(self):
+        html = render_dashboard_html(title="unit test")
+        assert "unit test" in html
+        assert "<html" in html
+        # Single-file contract: no external scripts, styles, or fonts.
+        assert "http://" not in html and "https://" not in html
+        assert "src=" not in html
+
+    def test_page_embeds_the_validated_palette(self):
+        html = render_dashboard_html()
+        for outcome, (light, dark) in OUTCOME_COLORS.items():
+            assert light in html
+            assert dark in html
+
+    def test_every_outcome_has_a_color_and_an_order_slot(self):
+        names = {outcome.value for outcome in Outcome}
+        assert set(OUTCOME_COLORS) == names
+        assert set(OUTCOME_ORDER) == names
+
+
+class TestText:
+    def test_renders_live_metrics(self):
+        hub = TelemetryHub()
+        hub.set_campaign("unit", total=4)
+        text = render_text_dashboard(hub.metrics())
+        assert "unit" in text
+        assert "outcome distribution" in text
+
+    def test_empty_hub_renders_without_errors(self):
+        assert render_text_dashboard(TelemetryHub().metrics())

@@ -1,0 +1,119 @@
+"""Watch server endpoints, exercised over real HTTP on an ephemeral port."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.core.plan import paper_figure3_plan
+from repro.engine import CampaignEngine
+from repro.errors import ObservabilityError
+from repro.obs.rollup import METRICS_SCHEMA, TelemetryHub
+from repro.obs.server import WatchServer
+from repro.obs.telemetry import Telemetry, validate_event_dict
+
+
+def fetch(url, timeout=5.0):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+@pytest.fixture(scope="module")
+def served_campaign():
+    """A finished campaign behind a live watch server."""
+    plan = paper_figure3_plan(num_tests=4, duration=2.0)
+    hub = TelemetryHub()
+    hub.set_campaign(plan.name, total=len(plan))
+    telemetry = Telemetry()
+    telemetry.subscribe(hub.on_event)
+    engine = CampaignEngine(plan, progress=hub.on_progress,
+                            telemetry=telemetry)
+    result = engine.run()
+    hub.mark_done()
+    with WatchServer(hub) as server:
+        yield plan, result, server
+
+
+class TestEndpoints:
+    def test_metrics_json(self, served_campaign):
+        plan, result, server = served_campaign
+        status, body = fetch(f"{server.url}/metrics.json")
+        assert status == 200
+        metrics = json.loads(body)
+        assert metrics["schema"] == METRICS_SCHEMA
+        assert metrics["state"] == "done"
+        assert metrics["campaign"]["name"] == plan.name
+        assert metrics["snapshot"]["completed"] == len(result.results)
+        assert metrics["workers"]
+        assert metrics["convergence"]["n"] == len(result.results)
+        assert metrics["timing"]["timed_experiments"] == len(result.results)
+        assert metrics["ascii"]["outcome_bars"]
+
+    def test_dashboard_html(self, served_campaign):
+        _, _, server = served_campaign
+        status, body = fetch(f"{server.url}/")
+        assert status == 200
+        assert "<html" in body
+        assert "metrics.json" in body        # the page polls itself
+        for alias in ("/index.html", "/dashboard"):
+            assert fetch(f"{server.url}{alias}")[1] == body
+
+    def test_dashboard_txt(self, served_campaign):
+        _, _, server = served_campaign
+        status, body = fetch(f"{server.url}/dashboard.txt")
+        assert status == 200
+        assert "outcome distribution" in body
+
+    def test_unknown_path_is_404(self, served_campaign):
+        _, _, server = served_campaign
+        try:
+            status, _ = fetch(f"{server.url}/nope")
+        except urllib.error.HTTPError as exc:
+            status = exc.code
+        assert status == 404
+
+    def test_sse_tail_replays_retained_events(self, served_campaign):
+        plan, _, server = served_campaign
+        request = urllib.request.Request(f"{server.url}/events")
+        events = []
+        with urllib.request.urlopen(request, timeout=5.0) as response:
+            assert response.headers["Content-Type"] == "text/event-stream"
+            # The campaign is done, so the pre-seeded tail arrives at once;
+            # read until we have every experiment_complete event.
+            while len(events) < len(plan) + 2:
+                line = response.readline().decode("utf-8").strip()
+                if line.startswith("data: "):
+                    events.append(json.loads(line[len("data: "):]))
+        for event in events:
+            validate_event_dict(event)
+        kinds = [event["kind"] for event in events]
+        assert kinds[0] == "campaign_start"
+        assert kinds.count("experiment_complete") == len(plan)
+
+
+class TestLifecycle:
+    def test_port_before_start_raises(self):
+        server = WatchServer(TelemetryHub())
+        with pytest.raises(ObservabilityError, match="not running"):
+            server.port
+
+    def test_double_start_raises(self):
+        server = WatchServer(TelemetryHub()).start()
+        try:
+            with pytest.raises(ObservabilityError, match="already running"):
+                server.start()
+        finally:
+            server.stop()
+
+    def test_stop_is_idempotent(self):
+        server = WatchServer(TelemetryHub()).start()
+        server.stop()
+        server.stop()
+
+    def test_unbindable_port_is_a_clean_error(self):
+        anchor = WatchServer(TelemetryHub()).start()
+        try:
+            with pytest.raises(ObservabilityError, match="cannot bind"):
+                WatchServer(TelemetryHub(), port=anchor.port).start()
+        finally:
+            anchor.stop()
