@@ -109,6 +109,7 @@ from repro.core.analysis import outcome_distribution
 from repro.core.targets import InjectionTarget
 from repro.engine import CampaignEngine
 from repro.engine.scheduler import normalize_chunk_size
+from repro.engine.supervisor import DEFAULT_RETRIES
 from repro.errors import (
     AnalysisError,
     CampaignConfigError,
@@ -223,11 +224,17 @@ def _observability(plan, args):
 
 def _run_plan(plan, args, sut_factory=None, classifier=None,
               prefix_cache_default: bool = False,
-              chunk_size_default: "int | str | None" = None):
+              chunk_size_default: "int | str | None" = None,
+              timeout_default: "float | None" = None,
+              retries_default: "int | None" = None,
+              max_worker_restarts_default: "int | None" = None):
     """Execute a plan through the engine with the shared campaign flags.
 
-    ``--prefix-cache/--no-prefix-cache`` and ``--chunk-size`` override the
-    defaults (which ``repro-fi run`` takes from the campaign config).
+    ``--prefix-cache/--no-prefix-cache``, ``--chunk-size``, ``--timeout``,
+    ``--retries`` and ``--max-worker-restarts`` override the defaults (which
+    ``repro-fi run`` takes from the campaign config). CLI campaigns always
+    run supervised: a crashing or hanging spec is retried and then
+    quarantined rather than taking the whole run down.
     """
     prefix_cache = getattr(args, "prefix_cache", None)
     if prefix_cache is None:
@@ -235,6 +242,17 @@ def _run_plan(plan, args, sut_factory=None, classifier=None,
     chunk_size = _parse_chunk_size(getattr(args, "chunk_size", None))
     if chunk_size is None:
         chunk_size = chunk_size_default
+    timeout_s = getattr(args, "timeout", None)
+    if timeout_s is None:
+        timeout_s = timeout_default
+    retries = getattr(args, "retries", None)
+    if retries is None:
+        retries = retries_default
+    if retries is None:
+        retries = DEFAULT_RETRIES
+    max_worker_restarts = getattr(args, "max_worker_restarts", None)
+    if max_worker_restarts is None:
+        max_worker_restarts = max_worker_restarts_default
     telemetry, hub, server = _observability(plan, args)
     callbacks = []
     if args.verbose:
@@ -263,6 +281,10 @@ def _run_plan(plan, args, sut_factory=None, classifier=None,
             prefix_cache=prefix_cache,
             progress=progress,
             telemetry=telemetry,
+            timeout_s=timeout_s,
+            retries=retries,
+            max_worker_restarts=max_worker_restarts,
+            flush_interval_s=getattr(args, "flush_interval", 0.0) or 0.0,
         )
         result = engine.run()
         if hub is not None:
@@ -284,6 +306,20 @@ def _run_plan(plan, args, sut_factory=None, classifier=None,
         print(f"prefix cache: {stats['hits']} hits / {stats['misses']} "
               f"misses ({stats['hits'] / executed:.0%} of cached "
               f"experiments fast-forwarded)", file=sys.stderr)
+    if engine.reoffered:
+        print(f"re-offered {engine.reoffered} previously quarantined "
+              f"spec(s) from {engine.quarantine.path}", file=sys.stderr)
+    if engine.infra_counts:
+        summary = ", ".join(f"{kind}={count}" for kind, count
+                            in sorted(engine.infra_counts.items()))
+        print(f"fault tolerance: {summary}", file=sys.stderr)
+    quarantined = result.quarantined()
+    if quarantined:
+        names = ", ".join(entry.spec_name for entry in quarantined)
+        where = (f" (details: {engine.quarantine.path})"
+                 if engine.quarantine is not None else "")
+        print(f"WARNING: {len(quarantined)} spec(s) quarantined without a "
+              f"verdict: {names}{where}", file=sys.stderr)
     return result
 
 
@@ -365,6 +401,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         classifier=config.build_classifier(),
         prefix_cache_default=config.prefix_cache,
         chunk_size_default=config.chunk_size,
+        timeout_default=config.timeout_s,
+        retries_default=config.retries,
+        max_worker_restarts_default=config.max_worker_restarts,
     )
     print(format_campaign_summary(result))
     _save_records(result, args.output)
@@ -517,18 +556,30 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _tail_lines(path: Path, *, poll_s: float, deadline: float):
+def _tail_lines(path: Path, *, poll_s: float, deadline: float,
+                on_rotate=None):
     """Yield complete lines appended to ``path`` until ``deadline``.
 
     Reads from a remembered byte offset and only yields newline-terminated
     lines, so a record the campaign is mid-way through writing is never
     parsed half-done; the partial tail stays buffered until its newline
     arrives. The file may not exist yet — the tailer waits for it.
+
+    The file shrinking under the reader (rotation, truncation, or the
+    engine's atomic checkpoint rewrite landing a shorter file) is tolerated:
+    the tailer re-seeks to offset 0, drops its partial-line buffer, and
+    calls ``on_rotate(previous_offset, new_size)`` so the caller can log it.
     """
     offset = 0
     buffer = b""
     while True:
         if path.exists():
+            size = path.stat().st_size
+            if size < offset:
+                if on_rotate is not None:
+                    on_rotate(offset, size)
+                offset = 0
+                buffer = b""
             with path.open("rb") as handle:
                 handle.seek(offset)
                 chunk = handle.read()
@@ -560,6 +611,16 @@ def cmd_watch(args: argparse.Namespace) -> int:
     hub = TelemetryHub()
     hub.set_campaign(records_path.stem, total=args.total,
                      source=str(records_path))
+    bus = Telemetry()
+    bus.subscribe(hub.on_event)
+
+    def on_rotate(previous_offset: int, size: int) -> None:
+        print(f"warning: {records_path} shrank from {previous_offset} to "
+              f"{size} bytes (rotated or truncated); re-tailing from the "
+              f"start", file=sys.stderr)
+        bus.emit("file_rotated", path=str(records_path),
+                 previous_offset=previous_offset, size=size)
+
     aggregator = LiveAggregator(args.total)
     deadline = (time.monotonic() + args.timeout
                 if args.timeout is not None else float("inf"))
@@ -570,7 +631,7 @@ def cmd_watch(args: argparse.Namespace) -> int:
         seen = 0
         try:
             for line in _tail_lines(records_path, poll_s=args.poll,
-                                    deadline=deadline):
+                                    deadline=deadline, on_rotate=on_rotate):
                 try:
                     record = ExperimentRecord.from_json(line)
                 except AnalysisError as exc:
@@ -667,6 +728,30 @@ def build_parser() -> argparse.ArgumentParser:
                                   "so that is the streaming granularity); "
                                   "'auto' sizes tasks for very short "
                                   "experiments")
+        command.add_argument("--timeout", type=float, default=None,
+                             metavar="SECONDS",
+                             help="per-experiment wall-clock watchdog: a "
+                                  "hung experiment is killed after SECONDS "
+                                  "and retried, then quarantined as "
+                                  "infra_timeout (default: no timeout)")
+        command.add_argument("--retries", type=int, default=None,
+                             metavar="N",
+                             help="re-run a crashed/hung/erroring spec up "
+                                  "to N times (same seed, exponential "
+                                  "backoff) before quarantining it "
+                                  "(default 1)")
+        command.add_argument("--max-worker-restarts", type=int, default=None,
+                             metavar="N",
+                             help="campaign-wide budget of unexpected "
+                                  "worker-death respawns (default 8); "
+                                  "deliberate --timeout kills are not "
+                                  "counted")
+        command.add_argument("--flush-interval", type=float, default=0.0,
+                             metavar="SECONDS",
+                             help="batch atomic checkpoint flushes to at "
+                                  "most one per SECONDS (default 0: every "
+                                  "completed experiment flushes before the "
+                                  "campaign moves on)")
         command.add_argument("--verbose", action="store_true")
         command.add_argument("--progress-interval", type=float, default=0.0,
                              metavar="SECONDS",

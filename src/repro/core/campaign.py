@@ -77,6 +77,17 @@ class CampaignResult:
     def total_injections(self) -> int:
         return sum(result.injections for result in self.results)
 
+    def quarantined(self) -> List[ExperimentResult]:
+        """Results synthesized for quarantined specs (no SUT verdict).
+
+        Non-empty only when the supervision layer gave up on a spec that
+        crashed or hung through every retry; the paper's outcome statistics
+        should usually be computed without them (they carry no simulation
+        evidence).
+        """
+        return [result for result in self.results
+                if result.outcome.is_infrastructure]
+
     def results_with_outcome(self, outcome: Outcome) -> List[ExperimentResult]:
         return [result for result in self.results if result.outcome is outcome]
 
@@ -172,7 +183,12 @@ class Campaign:
             pooling: bool = False,
             prefix_cache: bool = False,
             chunk_size: "int | str | None" = None,
-            telemetry=None) -> CampaignResult:
+            telemetry=None,
+            timeout_s: Optional[float] = None,
+            retries: Optional[int] = None,
+            max_worker_restarts: Optional[int] = None,
+            quarantine_path: Optional[str] = None,
+            flush_interval_s: float = 0.0) -> CampaignResult:
         """Execute every experiment in the plan.
 
         Execution is delegated to the :class:`~repro.engine.runner.
@@ -193,6 +209,12 @@ class Campaign:
         :func:`~repro.engine.scheduler.suggest_chunk_size`). ``telemetry``
         attaches a :class:`~repro.obs.telemetry.Telemetry` bus for live
         observability (structured events + the ``watch`` dashboard).
+        ``timeout_s``/``retries``/``max_worker_restarts`` opt into the
+        engine's supervision layer (watchdog timeouts, retry with backoff,
+        poison-spec quarantine — see
+        :class:`~repro.engine.supervisor.RunPolicy`); ``quarantine_path``
+        overrides the quarantine log location and ``flush_interval_s``
+        batches the atomic checkpoint flushes.
         """
         # Imported here: the engine returns this module's CampaignResult, so a
         # top-level import would be circular.
@@ -216,6 +238,11 @@ class Campaign:
             chunk_size=chunk_size,
             progress=engine_progress,
             telemetry=telemetry,
+            timeout_s=timeout_s,
+            retries=retries,
+            max_worker_restarts=max_worker_restarts,
+            quarantine_path=quarantine_path,
+            flush_interval_s=flush_interval_s,
         )
         campaign_result = engine.run()
         if golden:

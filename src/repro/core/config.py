@@ -61,6 +61,7 @@ _CAMPAIGN_KEYS = frozenset({
     "warmup_time", "observe_time", "intensity", "scenario", "sut",
     "classifier", "sampling", "sample_size", "sample_seed",
     "high_intensity_registers", "prefix_cache", "chunk_size",
+    "timeout_s", "retries", "max_worker_restarts",
 })
 #: Top-level tables/arrays accepted next to ``[campaign]``.
 _TOP_LEVEL_KEYS = frozenset({"campaign", "target", "trigger", "fault_model"})
@@ -161,6 +162,14 @@ class CampaignConfig:
     #: engine default of one experiment per task. The CLI's ``--chunk-size``
     #: overrides this.
     chunk_size: Optional[object] = None
+    #: Supervision defaults (the CLI's ``--timeout``/``--retries``/
+    #: ``--max-worker-restarts`` override these): per-experiment wall-clock
+    #: budget in seconds, retry attempts before a crashing/hanging spec is
+    #: quarantined, and the campaign-wide worker respawn budget. ``None``
+    #: defers to the engine defaults.
+    timeout_s: Optional[float] = None
+    retries: Optional[int] = None
+    max_worker_restarts: Optional[int] = None
 
     # -- loading --------------------------------------------------------------------
 
@@ -223,6 +232,13 @@ class CampaignConfig:
             sample_seed=int(campaign.get("sample_seed", 0)),
             prefix_cache=bool(campaign.get("prefix_cache", False)),
             chunk_size=campaign.get("chunk_size"),
+            timeout_s=(float(campaign["timeout_s"])
+                       if "timeout_s" in campaign else None),
+            retries=(int(campaign["retries"])
+                     if "retries" in campaign else None),
+            max_worker_restarts=(int(campaign["max_worker_restarts"])
+                                 if "max_worker_restarts" in campaign
+                                 else None),
         )
         config.validate()
         return config
@@ -259,6 +275,14 @@ class CampaignConfig:
                 "config needs [[trigger]] and [[fault_model]] entries, or "
                 "intensity = 'medium'/'high' to derive them"
             )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise CampaignConfigError("[campaign] timeout_s must be positive")
+        if self.retries is not None and self.retries < 0:
+            raise CampaignConfigError(
+                "[campaign] retries must be non-negative")
+        if self.max_worker_restarts is not None and self.max_worker_restarts < 0:
+            raise CampaignConfigError(
+                "[campaign] max_worker_restarts must be non-negative")
         if self.chunk_size is not None:
             # Deferred import: core describes campaigns, engine executes
             # them, and the chunk-size rule belongs to the execution layer.

@@ -29,7 +29,16 @@ from repro.hypervisor.traps import UNHANDLED_TRAP_ERROR
 
 
 class Outcome(enum.Enum):
-    """Per-experiment outcome classes."""
+    """Per-experiment outcome classes.
+
+    The first six are the paper's taxonomy, derived by the classifier from
+    simulation evidence. The ``INFRA_*`` members are *infrastructure*
+    verdicts: the harness could not obtain a classification because the
+    worker process hung past the watchdog timeout or died, every retry
+    included. They never come out of :class:`OutcomeClassifier` — the
+    supervision layer synthesizes them for quarantined specs so a campaign
+    still completes with one result per plan position.
+    """
 
     CORRECT = "correct"
     PANIC_PARK = "panic_park"
@@ -37,10 +46,17 @@ class Outcome(enum.Enum):
     INVALID_ARGUMENTS = "invalid_arguments"
     INCONSISTENT_STATE = "inconsistent_state"
     SILENT_FAILURE = "silent_failure"
+    INFRA_TIMEOUT = "infra_timeout"
+    INFRA_CRASH = "infra_crash"
 
     @property
     def is_failure(self) -> bool:
         return self is not Outcome.CORRECT
+
+    @property
+    def is_infrastructure(self) -> bool:
+        """Harness-level verdict (no SUT classification was obtained)."""
+        return self in (Outcome.INFRA_TIMEOUT, Outcome.INFRA_CRASH)
 
     @property
     def violates_isolation(self) -> bool:

@@ -10,6 +10,7 @@ analysis layer can re-load without re-running the (slow) experiments.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional
@@ -177,6 +178,37 @@ class RecordStore:
             for record in records:
                 handle.write(record.to_json() + "\n")
                 count += 1
+        return count
+
+    def replace_all(self, records: Iterable[ExperimentRecord]) -> int:
+        """Atomically replace the store with exactly ``records``.
+
+        Writes a sibling temp file, fsyncs it, and renames it over the store
+        (then best-effort fsyncs the directory so the rename itself is
+        durable). A reader — or a resuming campaign — therefore sees either
+        the complete old file or the complete new one, never a torn middle:
+        this is what makes checkpoints crash-safe under SIGKILL.
+        """
+        self._ensure_parent()
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        count = 0
+        with tmp.open("w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(record.to_json() + "\n")
+                count += 1
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        try:
+            parent_fd = os.open(self.path.parent, os.O_RDONLY)
+        except OSError:
+            return count
+        try:
+            os.fsync(parent_fd)
+        except OSError:
+            pass
+        finally:
+            os.close(parent_fd)
         return count
 
     def iter_records(self, *, errors: str = "strict") -> Iterator[ExperimentRecord]:

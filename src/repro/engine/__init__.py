@@ -4,9 +4,11 @@ The paper's methodology is thousands of independent fault-injection
 experiments per campaign; this subsystem executes them at scale. It separates
 *plan* from *execution* the way chaos-engineering harnesses do: a
 :class:`~repro.core.plan.TestPlan` is sharded into a deterministic work
-queue (:mod:`~repro.engine.scheduler`), executed across a worker pool that
-rebuilds each system under test from spec + seed
-(:mod:`~repro.engine.workers`), streamed to an append-only checkpoint that
+queue (:mod:`~repro.engine.scheduler`), executed across a *supervised*
+worker pool that rebuilds each system under test from spec + seed and
+survives worker deaths, hangs, and poison specs
+(:mod:`~repro.engine.workers`, :mod:`~repro.engine.supervisor`,
+:mod:`~repro.engine.quarantine`), streamed to a crash-safe checkpoint that
 makes runs resumable (:mod:`~repro.engine.checkpoint`), and aggregated live
 (:mod:`~repro.engine.aggregate`). :class:`CampaignEngine`
 (:mod:`~repro.engine.runner`) ties the pieces together; ``Campaign.run``
@@ -20,6 +22,7 @@ from repro.engine.aggregate import (
     LiveAggregator,
 )
 from repro.engine.checkpoint import Checkpoint
+from repro.engine.quarantine import QuarantineLog, default_quarantine_path
 from repro.engine.runner import CampaignEngine
 from repro.engine.scheduler import (
     Shard,
@@ -29,6 +32,7 @@ from repro.engine.scheduler import (
     shard_work,
     suggest_chunk_size,
 )
+from repro.engine.supervisor import RunPolicy, SupervisedPool
 from repro.engine.workers import execute_pool, execute_serial, resolve_jobs
 
 __all__ = [
@@ -37,9 +41,13 @@ __all__ = [
     "Checkpoint",
     "EngineProgress",
     "LiveAggregator",
+    "QuarantineLog",
+    "RunPolicy",
     "Shard",
+    "SupervisedPool",
     "WorkItem",
     "build_work_queue",
+    "default_quarantine_path",
     "execute_pool",
     "execute_serial",
     "resolve_jobs",

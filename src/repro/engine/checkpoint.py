@@ -3,10 +3,12 @@
 The paper's campaigns run for hours (hundreds of one-minute tests per target
 and intensity); losing a run to a crash or preemption means re-paying all of
 it. The engine therefore streams every completed
-:class:`~repro.core.recording.ExperimentRecord` to an append-only
-JSON-Lines checkpoint (a plain :class:`~repro.core.recording.RecordStore`
-file — the same format ``--output`` and the analysis layer use), and on
-resume skips every spec whose record is already present.
+:class:`~repro.core.recording.ExperimentRecord` to a JSON-Lines checkpoint
+(a plain :class:`~repro.core.recording.RecordStore` file — the same format
+``--output`` and the analysis layer use), flushed **atomically** (temp file
++ fsync + rename, see :meth:`Checkpoint.flush`) so even a SIGKILL mid-write
+leaves a complete, loadable file, and on resume skips every spec whose
+record is already present.
 
 Completed work is keyed on :meth:`ExperimentSpec.identity` — a hash of name,
 seed, scenario, and the injection setup — which the checkpoint stamps into
@@ -25,6 +27,7 @@ double-counts.
 
 from __future__ import annotations
 
+import time
 from dataclasses import replace
 from pathlib import Path
 from typing import Dict, List, Optional, Set, Tuple
@@ -32,17 +35,39 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.core.experiment import ExperimentResult, ExperimentSpec
 from repro.core.plan import TestPlan
 from repro.core.recording import ExperimentRecord, RecordStore
-from repro.errors import AnalysisError, RecordSchemaError
+from repro.errors import AnalysisError, CampaignError, RecordSchemaError
 
 #: Fallback identity for records without a ``spec_id`` stamp.
 _Triple = Tuple[str, int, str]
 
 
 class Checkpoint:
-    """Append-only record of completed specs, enabling resume."""
+    """Crash-safe record of completed specs, enabling resume.
 
-    def __init__(self, path: "str | Path") -> None:
+    Commits are buffered in memory and persisted by :meth:`flush`, which
+    writes the *whole* record set to a temp file, fsyncs, and renames it over
+    the checkpoint — so the on-disk file is always a complete, valid
+    JSON-Lines document and a SIGKILL at any instant loses at most the
+    commits since the last flush (none at all with the default
+    ``flush_interval_s=0``, which flushes on every commit like the paper's
+    minute-long tests want). ``flush_interval_s > 0`` batches flushes for
+    campaigns of very short experiments, where an atomic rewrite per
+    completion would dominate.
+    """
+
+    def __init__(self, path: "str | Path", *,
+                 flush_interval_s: float = 0.0) -> None:
+        if flush_interval_s < 0:
+            raise CampaignError(
+                f"flush interval must be >= 0, got {flush_interval_s}")
         self.store = RecordStore(path)
+        self.flush_interval_s = flush_interval_s
+        #: How many atomic flushes hit the disk (telemetry reads this).
+        self.flushes = 0
+        self._dirty = False
+        # The interval clock starts now, so a batched checkpoint's first
+        # flush happens one full interval in, not on the first commit.
+        self._last_flush = time.monotonic()
         self._records: List[ExperimentRecord] = []
         self._records_by_id: Dict[str, ExperimentRecord] = {}
         self._records_by_triple: Dict[_Triple, ExperimentRecord] = {}
@@ -85,7 +110,7 @@ class Checkpoint:
                 else:
                     raise
         if torn_tail:
-            self.store.write_all(records)
+            self.store.replace_all(records)
         for record in records:
             self._remember(record)
         return len(records)
@@ -100,10 +125,11 @@ class Checkpoint:
 
     def clear(self) -> None:
         """Truncate the checkpoint file (fresh, non-resumed run)."""
-        self.store.write_all([])
+        self.store.replace_all([])
         self._records.clear()
         self._records_by_id.clear()
         self._records_by_triple.clear()
+        self._dirty = False
 
     def prune_stale(self, plan: TestPlan) -> int:
         """Reconcile the checkpoint with the plan it is resuming.
@@ -141,7 +167,7 @@ class Checkpoint:
                 (record.spec_name, record.seed, record.scenario): record
                 for record in kept
             }
-            self.store.write_all(kept)
+            self.store.replace_all(kept)
         return removed
 
     # -- queries ------------------------------------------------------------------------
@@ -192,16 +218,44 @@ class Checkpoint:
 
     def commit(self, spec: ExperimentSpec,
                result: ExperimentResult) -> ExperimentRecord:
-        """Persist one completed experiment and mark its spec done.
+        """Record one completed experiment and mark its spec done.
 
         Called from the parent process only (workers hand results back over
-        the pool), so appends never interleave. The record is stamped with the
-        spec identity so a later resume matches on the strong key.
+        the pool), so commits never interleave. The record is stamped with
+        the spec identity so a later resume matches on the strong key. The
+        commit is buffered and flushed per :attr:`flush_interval_s` — with
+        the default of ``0`` every commit reaches the disk atomically before
+        this returns.
         """
         record = ExperimentRecord.from_result(result)
         record = replace(
             record, extras={**record.extras, "spec_id": spec.identity()}
         )
-        self.store.append(record)
         self._remember(record)
+        self._dirty = True
+        if (self.flush_interval_s <= 0
+                or time.monotonic() - self._last_flush
+                >= self.flush_interval_s):
+            self.flush()
         return record
+
+    @property
+    def dirty(self) -> bool:
+        """Whether commits are buffered that have not reached the disk."""
+        return self._dirty
+
+    def flush(self) -> bool:
+        """Atomically persist all buffered commits; ``True`` if it wrote.
+
+        The whole record set is rewritten through
+        :meth:`~repro.core.recording.RecordStore.replace_all` (temp file +
+        fsync + rename), so a crash — even SIGKILL — at any instant leaves
+        either the previous complete checkpoint or the new one on disk.
+        """
+        self._last_flush = time.monotonic()
+        if not self._dirty:
+            return False
+        self.store.replace_all(self._records)
+        self._dirty = False
+        self.flushes += 1
+        return True

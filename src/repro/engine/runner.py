@@ -45,10 +45,16 @@ from repro.core.plan import TestPlan
 from repro.core.registry import resolve_sut_factory
 from repro.engine.aggregate import EngineProgress, LiveAggregator
 from repro.engine.checkpoint import Checkpoint
+from repro.engine.quarantine import QuarantineLog, open_quarantine
 from repro.engine.scheduler import (
     build_work_queue,
     normalize_chunk_size,
     suggest_chunk_size,
+)
+from repro.engine.supervisor import (
+    DEFAULT_MAX_WORKER_RESTARTS,
+    DEFAULT_RETRIES,
+    RunPolicy,
 )
 from repro.engine.workers import (
     DEFAULT_PREFIX_CACHE_SIZE,
@@ -73,7 +79,12 @@ class CampaignEngine:
                  prefix_cache: bool = False,
                  prefix_cache_size: int = DEFAULT_PREFIX_CACHE_SIZE,
                  progress: Optional[EngineProgress] = None,
-                 telemetry: "Telemetry | None" = None) -> None:
+                 telemetry: "Telemetry | None" = None,
+                 timeout_s: Optional[float] = None,
+                 retries: Optional[int] = None,
+                 max_worker_restarts: Optional[int] = None,
+                 quarantine_path: Optional[str] = None,
+                 flush_interval_s: float = 0.0) -> None:
         plan.validate()
         if resume and checkpoint_path is None:
             raise CampaignError("resume requires a checkpoint path")
@@ -84,9 +95,45 @@ class CampaignEngine:
         self.sut_factory = resolve_sut_factory(sut_factory)
         self.classifier = classifier or OutcomeClassifier()
         self.checkpoint = (
-            Checkpoint(checkpoint_path) if checkpoint_path is not None else None
+            Checkpoint(checkpoint_path, flush_interval_s=flush_interval_s)
+            if checkpoint_path is not None else None
         )
         self.resume = resume
+        #: Fault-tolerance policy. ``None`` (no timeout/retry/restart knob
+        #: set) keeps the historical library contract: worker exceptions
+        #: propagate with their original type and nothing is quarantined —
+        #: though worker *deaths*, which used to wedge the pool forever, are
+        #: still survived up to the default restart budget. Setting any knob
+        #: opts into supervision: hung experiments are killed after
+        #: ``timeout_s``, failing specs retry ``retries`` times with
+        #: exponential backoff, and persistent offenders are quarantined with
+        #: a synthesized infrastructure result so the campaign completes.
+        self.policy: Optional[RunPolicy] = None
+        if (timeout_s is not None or retries is not None
+                or max_worker_restarts is not None):
+            self.policy = RunPolicy(
+                timeout_s=timeout_s,
+                retries=DEFAULT_RETRIES if retries is None else retries,
+                max_worker_restarts=(DEFAULT_MAX_WORKER_RESTARTS
+                                     if max_worker_restarts is None
+                                     else max_worker_restarts),
+            ).validate()
+        #: Sidecar log of quarantined specs (``<checkpoint>.quarantine`` by
+        #: default). Quarantined specs are never checkpointed as complete, so
+        #: ``--resume`` re-offers them; the log is the durable list of what
+        #: needs attention, pruned of re-offered entries on resume.
+        self.quarantine: Optional[QuarantineLog] = (
+            open_quarantine(quarantine_path, checkpoint_path)
+            if self.policy is not None or quarantine_path is not None
+            else None
+        )
+        #: Supervision event counts from the last :meth:`run`
+        #: (``worker_crash``/``worker_respawn``/``experiment_retry``/
+        #: ``experiment_timeout``/``spec_quarantined``) — front-ends surface
+        #: these in their end-of-run summaries.
+        self.infra_counts: dict = {}
+        #: How many quarantine entries the last resume dropped for re-offer.
+        self.reoffered = 0
         #: Pool-task granularity: a positive int, ``None`` (= 1, stream every
         #: completion immediately), or ``"auto"`` to size tasks from the
         #: still-to-run queue via :func:`~repro.engine.scheduler.
@@ -147,6 +194,13 @@ class CampaignEngine:
             else:
                 # A fresh run must not inherit stale records at the same path.
                 self.checkpoint.clear()
+        self.infra_counts = {}
+        self.reoffered = 0
+        if self.resume and self.quarantine is not None:
+            # Quarantined specs were never checkpointed, so the queue below
+            # re-offers them automatically; dropping their entries keeps the
+            # quarantine log a list of *currently* poisonous specs.
+            self.reoffered = self.quarantine.reoffer(self.plan)
 
         for index, spec in enumerate(self.plan):
             if index not in skip:
@@ -168,43 +222,79 @@ class CampaignEngine:
         chunk_size = self.chunk_size
         if chunk_size == "auto":
             chunk_size = suggest_chunk_size(len(queue), self.jobs)
+
+        def on_event(kind: str, **payload) -> None:
+            # Supervision events surface here, in the parent: counted for the
+            # end-of-run summary, appended to the quarantine log, and put on
+            # the telemetry bus for the watch dashboard.
+            self.infra_counts[kind] = self.infra_counts.get(kind, 0) + 1
+            if kind == "spec_quarantined" and self.quarantine is not None:
+                self.quarantine.append(
+                    spec=payload.get("spec", ""),
+                    spec_id=payload.get("spec_id", ""),
+                    seed=payload.get("seed", 0),
+                    scenario=payload.get("scenario", ""),
+                    attempts=payload.get("attempts", 0),
+                    reason=payload.get("reason", ""),
+                    error=payload.get("error", ""),
+                )
+            if telemetry:
+                telemetry.emit(kind, **payload)
+
         if self.jobs == 1:
             stream = execute_serial(queue, self.sut_factory, self.classifier,
                                     self.pooling, self.prefix_cache,
-                                    self.prefix_cache_size)
+                                    self.prefix_cache_size,
+                                    policy=self.policy, on_event=on_event)
         else:
             stream = execute_pool(queue, self.jobs, self.sut_factory,
                                   self.classifier, chunk_size=chunk_size,
                                   pooling=self.pooling,
                                   prefix_cache=self.prefix_cache,
-                                  prefix_cache_size=self.prefix_cache_size)
+                                  prefix_cache_size=self.prefix_cache_size,
+                                  policy=self.policy, on_event=on_event)
 
-        for index, result in stream:
-            slots[index] = result
-            if self.checkpoint is not None:
-                self.checkpoint.commit(specs_by_index[index], result)
+        try:
+            for index, result in stream:
+                slots[index] = result
+                # Quarantined specs are deliberately NOT committed: their
+                # synthesized infra results fill the campaign, but a resume
+                # must re-offer the spec, not restore a non-answer.
+                if (self.checkpoint is not None
+                        and not result.outcome.is_infrastructure):
+                    flushes = self.checkpoint.flushes
+                    self.checkpoint.commit(specs_by_index[index], result)
+                    if telemetry and self.checkpoint.flushes != flushes:
+                        telemetry.emit("checkpoint_flush",
+                                       path=str(self.checkpoint.path),
+                                       records=len(self.checkpoint))
+                snapshot = aggregator.update(result)
+                if telemetry:
+                    telemetry.emit(
+                        "experiment_complete",
+                        spec=result.spec_name,
+                        index=index,
+                        outcome=result.outcome.value,
+                        wall_s=result.wall_time,
+                        prefix_wall_s=result.prefix_wall_time,
+                        worker=result.worker_id,
+                        prefix_cache_hit=result.prefix_cache_hit,
+                        injections=result.injections,
+                        completed=snapshot.completed,
+                        queue_depth=total - snapshot.completed,
+                        throughput_per_s=snapshot.throughput,
+                    )
+                if self.progress is not None:
+                    self.progress(snapshot, result)
+        finally:
+            # Interval-batched commits must reach the disk even when the
+            # stream dies mid-campaign — that partial checkpoint is exactly
+            # what --resume picks up from.
+            if self.checkpoint is not None and self.checkpoint.flush():
                 if telemetry:
                     telemetry.emit("checkpoint_flush",
                                    path=str(self.checkpoint.path),
                                    records=len(self.checkpoint))
-            snapshot = aggregator.update(result)
-            if telemetry:
-                telemetry.emit(
-                    "experiment_complete",
-                    spec=result.spec_name,
-                    index=index,
-                    outcome=result.outcome.value,
-                    wall_s=result.wall_time,
-                    prefix_wall_s=result.prefix_wall_time,
-                    worker=result.worker_id,
-                    prefix_cache_hit=result.prefix_cache_hit,
-                    injections=result.injections,
-                    completed=snapshot.completed,
-                    queue_depth=total - snapshot.completed,
-                    throughput_per_s=snapshot.throughput,
-                )
-            if self.progress is not None:
-                self.progress(snapshot, result)
 
         if telemetry:
             final = aggregator.snapshot()

@@ -15,18 +15,28 @@ result)``):
 * :func:`execute_serial` — in-process, used for ``jobs=1`` (the default path
   every existing ``Campaign.run`` caller goes through) and as the fallback
   when the platform offers no usable multiprocessing start method;
-* :func:`execute_pool` — a ``multiprocessing`` pool, preferring the ``fork``
+* :func:`execute_pool` — the supervised worker pool
+  (:class:`~repro.engine.supervisor.SupervisedPool`), preferring the ``fork``
   start method (cheap on Linux, and it lets custom ``sut_factory`` closures
   cross into workers without pickling) and falling back to ``spawn``.
+
+Both accept a :class:`~repro.engine.supervisor.RunPolicy`: per-experiment
+wall-clock timeouts, retry with exponential backoff, and poison-spec
+quarantine. The pool enforces the timeout by SIGKILLing the worker from the
+parent watchdog; the serial path arms ``SIGALRM`` around each experiment
+(main thread only — elsewhere the serial timeout is silently unavailable).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
 import sys
+import threading
 import time
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
@@ -38,11 +48,19 @@ from repro.core.experiment import (
 )
 from repro.core.outcomes import OutcomeClassifier
 from repro.core.registry import resolve_sut_factory
+from repro.core.outcomes import Outcome
 from repro.engine.scheduler import (
     WorkItem,
     group_by_prefix,
     shard_families,
     shard_for_pool,
+)
+from repro.engine.supervisor import (
+    LEGACY_POLICY,
+    EventCallback,
+    RunPolicy,
+    SupervisedPool,
+    infra_result,
 )
 from repro.errors import CampaignError
 
@@ -93,6 +111,15 @@ class PooledSutFactory:
         if sut.config.seed != seed:
             sut.reset_for_seed(seed)
         return sut
+
+    def reset(self) -> None:
+        """Drop the pooled SUT so the next call builds a fresh one.
+
+        Called after an in-process timeout or experiment error: an
+        interrupted run can leave the pooled object graph mid-boot, and a
+        retry must start from a provably clean state.
+        """
+        self._sut = None
 
 
 def _factory_for_spec(spec, sut_factory: SutFactory) -> SutFactory:
@@ -182,6 +209,10 @@ class PrefixSnapshotCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.evictions += 1
+
+    def invalidate(self) -> None:
+        """Drop every entry (after an interrupted in-process experiment)."""
+        self._entries.clear()
 
 
 def _supports_prefix_forking(sut: object) -> bool:
@@ -291,6 +322,103 @@ def _run_chunk(chunk: Sequence[WorkItem]) -> List[IndexedResult]:
             for item in chunk]
 
 
+class _SerialTimeout(Exception):
+    """Raised by the SIGALRM watchdog inside an in-process experiment."""
+
+
+@contextmanager
+def _serial_deadline(timeout_s: Optional[float]):
+    """Arm a wall-clock deadline around one in-process experiment.
+
+    Uses ``SIGALRM`` (interrupts CPU-bound pure-Python loops, which is what a
+    wedged simulation is), so it only works on the main thread of a platform
+    that has ``setitimer``; anywhere else the deadline is a no-op — the pool
+    path, which kills the worker from outside, is the fully general one.
+    """
+    if (not timeout_s
+            or not hasattr(signal, "setitimer")
+            or threading.current_thread() is not threading.main_thread()):
+        yield
+        return
+
+    def _expire(signum, frame):
+        raise _SerialTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _expire)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _emit(on_event: Optional[EventCallback], kind: str, **payload) -> None:
+    if on_event is not None:
+        on_event(kind, **payload)
+
+
+def _reset_worker_state(sut_factory, cache) -> None:
+    """Scrub in-process execution state after an interrupted experiment."""
+    if isinstance(sut_factory, PooledSutFactory):
+        sut_factory.reset()
+    if cache is not None:
+        cache.invalidate()
+
+
+def _run_item_with_policy(item: WorkItem, sut_factory: SutFactory,
+                          classifier: OutcomeClassifier,
+                          cache: Optional[PrefixSnapshotCache],
+                          policy: RunPolicy,
+                          on_event: Optional[EventCallback]) -> IndexedResult:
+    """Serial counterpart of the pool's supervision: timeout/retry/quarantine.
+
+    Retries re-run with the original seed, so a retry that succeeds returns
+    the exact result an unfaulted run would have; exhausted budgets either
+    quarantine (synthesized infrastructure result) or, under ``fail_fast``,
+    raise like the engine always did.
+    """
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            with _serial_deadline(policy.timeout_s):
+                return _run_item(item, sut_factory, classifier, cache)
+        except _SerialTimeout:
+            reason = "timeout"
+            error = (f"exceeded the {policy.timeout_s:g}s watchdog timeout "
+                     f"(in-process)")
+            _emit(on_event, "experiment_timeout", spec=item.spec.name,
+                  index=item.index, timeout_s=policy.timeout_s,
+                  attempt=attempts, worker=os.getpid())
+        except Exception as exc:  # noqa: BLE001 - policy decides the fate
+            if policy.fail_fast:
+                raise
+            reason = "error"
+            error = f"{type(exc).__name__}: {exc}"
+        _reset_worker_state(sut_factory, cache)
+        if attempts <= policy.retries:
+            delay = min(policy.backoff_s * (2 ** (attempts - 1)),
+                        policy.backoff_cap_s)
+            _emit(on_event, "experiment_retry", spec=item.spec.name,
+                  index=item.index, attempt=attempts, reason=reason,
+                  delay_s=delay, error=error)
+            time.sleep(delay)
+            continue
+        if policy.fail_fast:
+            raise CampaignError(
+                f"experiment {item.spec.name!r} {reason} "
+                f"({attempts} attempt(s), last error: {error})")
+        outcome = (Outcome.INFRA_TIMEOUT if reason == "timeout"
+                   else Outcome.INFRA_CRASH)
+        _emit(on_event, "spec_quarantined", spec=item.spec.name,
+              index=item.index, spec_id=item.spec.identity(),
+              seed=item.spec.seed, scenario=item.spec.scenario.value,
+              attempts=attempts, reason=reason, error=error)
+        return item.index, infra_result(item.spec, outcome,
+                                        attempts=attempts, error=error)
+
+
 def resolve_jobs(jobs: Optional[int]) -> int:
     """Normalize a ``--jobs`` value: ``None``/``0`` means one per CPU."""
     if jobs is None or jobs == 0:
@@ -316,6 +444,8 @@ def execute_serial(items: Sequence[WorkItem],
                    pooling: bool = False,
                    prefix_cache: bool = False,
                    prefix_cache_size: int = DEFAULT_PREFIX_CACHE_SIZE,
+                   policy: Optional[RunPolicy] = None,
+                   on_event: Optional[EventCallback] = None,
                    ) -> Iterator[IndexedResult]:
     """Run every item in queue order in this process (the ``jobs=1`` backend).
 
@@ -323,6 +453,11 @@ def execute_serial(items: Sequence[WorkItem],
     (results carry their plan index, so consumers are order-agnostic) and a
     bounded LRU of post-prefix snapshots serves every follow-up member of a
     family without re-running its golden bring-up.
+
+    A ``policy`` adds the serial flavour of supervision: a ``SIGALRM``
+    deadline per experiment, retries with backoff, and quarantine with
+    synthesized infrastructure results. ``None`` keeps the historical
+    contract — exceptions propagate, nothing times out.
     """
     classifier = classifier or OutcomeClassifier()
     sut_factory = resolve_sut_factory(sut_factory)
@@ -336,8 +471,14 @@ def execute_serial(items: Sequence[WorkItem],
             prefix_cache_size, sut_token=token,
             shareable_keys=shareable_keys_of(families))
         items = [item for family in families for item in family.items]
+    if policy is None:
+        for item in items:
+            yield _run_item(item, sut_factory, classifier, cache)
+        return
+    policy.validate()
     for item in items:
-        yield _run_item(item, sut_factory, classifier, cache)
+        yield _run_item_with_policy(item, sut_factory, classifier, cache,
+                                    policy, on_event)
 
 
 def execute_pool(items: Sequence[WorkItem],
@@ -348,14 +489,27 @@ def execute_pool(items: Sequence[WorkItem],
                  pooling: bool = False,
                  prefix_cache: bool = False,
                  prefix_cache_size: int = DEFAULT_PREFIX_CACHE_SIZE,
+                 policy: Optional[RunPolicy] = None,
+                 on_event: Optional[EventCallback] = None,
                  ) -> Iterator[IndexedResult]:
-    """Run items across ``jobs`` worker processes, streaming completions.
+    """Run items across ``jobs`` supervised worker processes, streaming.
 
-    Results are yielded as chunks finish (arbitrary order); callers that need
-    plan order re-assemble by index. On clean exhaustion the pool is closed
-    and joined (workers finish their current chunk and exit); an early exit
-    or exception terminates it instead, so a consumer that stops mid-stream
-    still releases the workers promptly.
+    Results are yielded as experiments finish (arbitrary order); callers that
+    need plan order re-assemble by index. Execution is supervised
+    (:class:`~repro.engine.supervisor.SupervisedPool`): each worker owns a
+    private pipe, dead workers are respawned with their untouched shard
+    requeued, hung experiments are killed by the parent watchdog, and specs
+    that fail every retry are quarantined with a synthesized infrastructure
+    result. With ``policy=None`` the historical library contract holds —
+    exceptions propagate and nothing times out — while worker deaths, which
+    previously wedged the pool forever, are still survived up to the default
+    restart budget.
+
+    On clean exhaustion workers are asked to stop and joined; an early exit
+    or exception kills busy workers instead, so a consumer that stops
+    mid-stream still releases them promptly (and no shared queues or
+    semaphores are left for the resource tracker to complain about — every
+    worker's pipe dies with its two endpoints).
 
     ``chunk_size`` defaults to 1: every completed experiment streams back (and
     checkpoints) immediately, which is what the paper's minute-long tests
@@ -370,13 +524,15 @@ def execute_pool(items: Sequence[WorkItem],
     task, so streaming (and checkpoint) granularity becomes the family even
     at ``chunk_size=1`` — a run killed mid-family re-executes that family's
     completed variants on resume, trading a little checkpoint granularity
-    for never re-paying a prefix.
+    for never re-paying a prefix. A retried spec re-runs as a singleton
+    shard, re-paying its prefix once.
     """
     jobs = resolve_jobs(jobs)
     sut_factory = resolve_sut_factory(sut_factory)
     if jobs == 1 or len(items) <= 1:
         yield from execute_serial(items, sut_factory, classifier, pooling,
-                                  prefix_cache, prefix_cache_size)
+                                  prefix_cache, prefix_cache_size,
+                                  policy=policy, on_event=on_event)
         return
     size = chunk_size or 1
     shareable = None
@@ -390,26 +546,13 @@ def execute_pool(items: Sequence[WorkItem],
         shareable = shareable_keys_of(families)
     else:
         shards = shard_for_pool(items, size)
-    context = _pool_context()
-    pool = context.Pool(
-        processes=min(jobs, len(shards)),
-        initializer=_init_worker,
-        initargs=(sut_factory, classifier, pooling,
-                  prefix_cache, prefix_cache_size, shareable),
+    pool = SupervisedPool(
+        shards,
+        jobs=jobs,
+        context=_pool_context(),
+        init_args=(sut_factory, classifier, pooling,
+                   prefix_cache, prefix_cache_size, shareable),
+        policy=policy or LEGACY_POLICY,
+        on_event=on_event,
     )
-    completed = False
-    try:
-        tasks = [shard.items for shard in shards]
-        for chunk_results in pool.imap_unordered(_run_chunk, tasks):
-            for indexed in chunk_results:
-                yield indexed
-        completed = True
-    finally:
-        if completed:
-            # Clean exhaustion: let the workers wind down instead of killing
-            # them mid-teardown (terminate() can leak semaphores and skips
-            # worker cleanup handlers).
-            pool.close()
-        else:
-            pool.terminate()
-        pool.join()
+    yield from pool.run()

@@ -34,10 +34,17 @@ OUTCOME_COLORS = {
     "invalid_arguments": ("#1baf7a", "#199e70"),
     "inconsistent_state": ("#eda100", "#c98500"),
     "silent_failure": ("#e34948", "#e66767"),
+    # Infrastructure verdicts (quarantined specs): harness greys, visually
+    # apart from every SUT-behaviour hue — they mean "no answer obtained",
+    # not a paper outcome class.
+    "infra_timeout": ("#6b6a64", "#9a9891"),
+    "infra_crash": ("#3d3c38", "#c6c4bb"),
 }
 
 #: Fixed display order of the outcome bars (validated adjacent-pair
 #: separation in both modes); outcomes not listed here append at the end.
+#: The infra verdicts sit last: rare by design, and harness-grey between
+#: two saturated hues keeps the adjacency separation comfortable.
 OUTCOME_ORDER = (
     "correct",
     "silent_failure",
@@ -45,6 +52,8 @@ OUTCOME_ORDER = (
     "cpu_park",
     "invalid_arguments",
     "inconsistent_state",
+    "infra_timeout",
+    "infra_crash",
 )
 
 _FALLBACK_COLOR = ("#4a3aa7", "#9085e9")
@@ -166,6 +175,18 @@ _PAGE = """<!DOCTYPE html>
     <div id="timing"><p class="bar-label">no timed experiments yet</p></div>
   </div>
 
+  <div class="card">
+    <h2>Fault tolerance</h2>
+    <table>
+      <thead><tr><th>crashes</th><th>respawns</th><th>retries</th>
+        <th>timeouts</th><th>quarantined</th></tr></thead>
+      <tbody><tr id="fault-tolerance">
+        <td>0</td><td>0</td><td>0</td><td>0</td><td>0</td>
+      </tr></tbody>
+    </table>
+    <p class="bar-label" id="fault-note">no supervision events</p>
+  </div>
+
   <div class="card wide">
     <h2>Event stream (/events)</h2>
     <pre id="events"></pre>
@@ -275,6 +296,16 @@ function render(m) {
       <td>${pct(w.completed / done)}</td></tr>`).join("");
   }
 
+  const ft = m.fault_tolerance || {};
+  const ftRow = document.getElementById("fault-tolerance");
+  ftRow.innerHTML = ["worker_crashes", "worker_respawns", "retries",
+                     "timeouts", "quarantined"]
+    .map(key => `<td>${ft[key] || 0}</td>`).join("");
+  const ftTotal = Object.values(ft).reduce((a, b) => a + (b || 0), 0);
+  document.getElementById("fault-note").textContent = ftTotal
+    ? "supervision intervened — see the event stream"
+    : "no supervision events";
+
   const t = m.timing || {};
   const timed = t.timed_experiments || 0;
   if (timed) {
@@ -359,6 +390,16 @@ def render_text_dashboard(metrics: dict) -> str:
     sparkline = ascii_charts.get("throughput_sparkline")
     if sparkline:
         lines += ["", f"throughput: {sparkline}"]
+    fault_tolerance = metrics.get("fault_tolerance") or {}
+    if any(fault_tolerance.values()):
+        lines += ["", "fault tolerance:"]
+        lines.append(
+            f"  crashes {fault_tolerance.get('worker_crashes', 0)}  "
+            f"respawns {fault_tolerance.get('worker_respawns', 0)}  "
+            f"retries {fault_tolerance.get('retries', 0)}  "
+            f"timeouts {fault_tolerance.get('timeouts', 0)}  "
+            f"quarantined {fault_tolerance.get('quarantined', 0)}"
+        )
     workers = metrics.get("workers") or []
     if workers:
         lines += ["", "workers:"]

@@ -60,6 +60,14 @@ class TelemetryHub:
         self._convergence_outcome = convergence_outcome
         self._convergence_seen = 0
         self._convergence_hits = 0
+        #: Supervision counters, fed by the fault-tolerance events.
+        self._fault_tolerance: Dict[str, int] = {
+            "worker_crashes": 0,
+            "worker_respawns": 0,
+            "retries": 0,
+            "timeouts": 0,
+            "quarantined": 0,
+        }
         self._events: Deque[dict] = deque(maxlen=_SSE_QUEUE_CAPACITY)
         self._subscribers: List["queue.Queue[dict]"] = []
 
@@ -94,10 +102,22 @@ class TelemetryHub:
             if result.outcome is self._convergence_outcome:
                 self._convergence_hits += 1
 
+    #: kind → fault-tolerance counter it increments.
+    _FAULT_COUNTERS = {
+        "worker_crash": "worker_crashes",
+        "worker_respawn": "worker_respawns",
+        "experiment_retry": "retries",
+        "experiment_timeout": "timeouts",
+        "spec_quarantined": "quarantined",
+    }
+
     def on_event(self, event) -> None:
         """Telemetry-bus subscriber: retains and fans out the event tail."""
         payload = event.to_dict()
+        counter = self._FAULT_COUNTERS.get(payload.get("kind"))
         with self._lock:
+            if counter is not None:
+                self._fault_tolerance[counter] += 1
             self._events.append(payload)
             subscribers = list(self._subscribers)
         for subscriber in subscribers:
@@ -161,6 +181,7 @@ class TelemetryHub:
             prefix_total = self._prefix_wall_total
             suffix_total = self._suffix_wall_total
             timed = self._timed_experiments
+            fault_tolerance = dict(self._fault_tolerance)
         payload: dict = {
             "schema": METRICS_SCHEMA,
             "ts": time.time(),
@@ -185,6 +206,7 @@ class TelemetryHub:
                 "post_injection_wall_s_total": suffix_total,
                 "timed_experiments": timed,
             },
+            "fault_tolerance": fault_tolerance,
         }
         outcome_counts = (snapshot or {}).get("outcome_counts") or {}
         completed = (snapshot or {}).get("completed") or 0

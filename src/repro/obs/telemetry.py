@@ -55,6 +55,15 @@ ENGINE_EVENT_KINDS = frozenset({
     "checkpoint_flush",
     "campaign_end",
     "span",
+    # Supervision layer (fault-tolerant execution):
+    "worker_crash",
+    "worker_respawn",
+    "experiment_retry",
+    "experiment_timeout",
+    "spec_quarantined",
+    # Watch tailer: the records file shrank under the reader (rotation or
+    # truncation) and tailing restarted from offset 0.
+    "file_rotated",
 })
 
 #: Payload fields validation requires per engine event kind.
@@ -67,6 +76,12 @@ REQUIRED_PAYLOAD_FIELDS: Dict[str, frozenset] = {
     "checkpoint_flush": frozenset({"path", "records"}),
     "campaign_end": frozenset({"plan", "completed", "elapsed_s"}),
     "span": frozenset({"name", "elapsed_s"}),
+    "worker_crash": frozenset({"worker"}),
+    "worker_respawn": frozenset({"worker"}),
+    "experiment_retry": frozenset({"spec", "index", "attempt", "reason"}),
+    "experiment_timeout": frozenset({"spec", "index", "timeout_s"}),
+    "spec_quarantined": frozenset({"spec", "attempts", "reason"}),
+    "file_rotated": frozenset({"path"}),
 }
 
 

@@ -333,6 +333,9 @@ class TestAnalyzeCli:
             "correct": 2, "panic_park": 1, "cpu_park": 1,
             "invalid_arguments": 1, "inconsistent_state": 1,
             "silent_failure": 1,
+            # Infrastructure verdicts (quarantined specs) are part of the
+            # schema even when the campaign had none.
+            "infra_timeout": 0, "infra_crash": 0,
         }
         assert sum(counts.values()) == payload["total"]
         assert payload["register_class_totals"] == {"gp": 3, "special": 1}

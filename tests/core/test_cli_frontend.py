@@ -457,3 +457,76 @@ class TestBenchHistoryCommand:
                                "--root", str(EXAMPLES.parent))
         assert code == 0
         assert "BENCH_hotpath.json" in out
+
+
+class TestSupervisionFlags:
+    def test_engine_flags_parse(self):
+        args = build_parser().parse_args([
+            "fig3", "--tests", "2", "--timeout", "5.5", "--retries", "2",
+            "--max-worker-restarts", "3", "--flush-interval", "1.5",
+        ])
+        assert args.timeout == 5.5
+        assert args.retries == 2
+        assert args.max_worker_restarts == 3
+        assert args.flush_interval == 1.5
+
+    def test_supervision_flags_default_to_unset(self):
+        args = build_parser().parse_args(["fig3", "--tests", "2"])
+        assert args.timeout is None
+        assert args.retries is None
+        assert args.max_worker_restarts is None
+        assert args.flush_interval == 0.0
+
+    def test_fig3_runs_supervised_with_explicit_knobs(self, capsys, tmp_path):
+        output = tmp_path / "records.jsonl"
+        code = main(["fig3", "--tests", "2", "--duration", "2",
+                     "--timeout", "30", "--retries", "1",
+                     "--output", str(output)])
+        assert code == 0
+        assert len(RecordStore(output).load()) == 2
+
+
+class TestTailLines:
+    def _collect(self, generator, count):
+        return [next(generator) for _ in range(count)]
+
+    def test_yields_only_complete_lines(self, tmp_path):
+        import time as _time
+        from repro.cli import _tail_lines
+        path = tmp_path / "records.jsonl"
+        path.write_text("one\ntwo\npartial")
+        lines = list(_tail_lines(path, poll_s=0.01,
+                                 deadline=_time.monotonic()))
+        assert lines == ["one", "two"]
+
+    def test_shrunk_file_reseeks_to_start_and_reports(self, tmp_path):
+        import time as _time
+        from repro.cli import _tail_lines
+        path = tmp_path / "records.jsonl"
+        path.write_text("one\ntwo\n")
+        rotations = []
+        stream = _tail_lines(path, poll_s=0.01,
+                             deadline=_time.monotonic() + 10,
+                             on_rotate=lambda offset, size:
+                                 rotations.append((offset, size)))
+        assert self._collect(stream, 2) == ["one", "two"]
+        # The writer rotates: the file is replaced by a shorter one. The
+        # tailer must notice the shrink, restart from offset 0, and report.
+        path.write_text("new\n")
+        assert next(stream) == "new"
+        stream.close()
+        assert rotations == [(8, 4)]
+
+    def test_shrink_discards_the_partial_line_buffer(self, tmp_path):
+        import time as _time
+        from repro.cli import _tail_lines
+        path = tmp_path / "records.jsonl"
+        path.write_text("complete\ntorn-prefix")
+        stream = _tail_lines(path, poll_s=0.01,
+                             deadline=_time.monotonic() + 10)
+        assert next(stream) == "complete"
+        path.write_text("fresh\n")
+        # The torn prefix of the old file must not be glued onto the new
+        # file's first line.
+        assert next(stream) == "fresh"
+        stream.close()

@@ -265,3 +265,67 @@ class TestCheckpointUnit:
         records = RecordStore(path).load()
         assert len(records) == len(plan)
         assert all(record.duration == pytest.approx(3.0) for record in records)
+
+
+class TestAtomicFlush:
+    def _spec_and_result(self, plan, sequential, index=0):
+        return plan.specs[index], sequential.results[index]
+
+    def test_commit_flushes_immediately_by_default(self, plan, sequential,
+                                                   tmp_path):
+        checkpoint = Checkpoint(tmp_path / "run.jsonl")
+        spec, result = self._spec_and_result(plan, sequential)
+        checkpoint.commit(spec, result)
+        assert checkpoint.flushes == 1
+        assert not checkpoint.dirty
+        assert len(RecordStore(checkpoint.path).load()) == 1
+
+    def test_flush_interval_batches_commits(self, plan, sequential, tmp_path):
+        checkpoint = Checkpoint(tmp_path / "run.jsonl",
+                                flush_interval_s=3600.0)
+        for index in range(3):
+            spec, result = self._spec_and_result(plan, sequential, index)
+            checkpoint.commit(spec, result)
+        # Nothing hit the disk yet; the records are buffered and dirty.
+        assert checkpoint.dirty
+        assert checkpoint.flushes == 0
+        assert not checkpoint.path.exists()
+        assert checkpoint.flush() is True
+        assert checkpoint.flushes == 1
+        assert not checkpoint.dirty
+        assert len(RecordStore(checkpoint.path).load()) == 3
+
+    def test_flush_is_idempotent_when_clean(self, plan, sequential, tmp_path):
+        checkpoint = Checkpoint(tmp_path / "run.jsonl")
+        spec, result = self._spec_and_result(plan, sequential)
+        checkpoint.commit(spec, result)
+        assert checkpoint.flush() is False       # nothing new to write
+        assert checkpoint.flushes == 1
+
+    def test_flush_replaces_the_file_atomically(self, plan, sequential,
+                                                tmp_path):
+        path = tmp_path / "run.jsonl"
+        checkpoint = Checkpoint(path, flush_interval_s=3600.0)
+        for index in range(2):
+            spec, result = self._spec_and_result(plan, sequential, index)
+            checkpoint.commit(spec, result)
+        checkpoint.flush()
+        # The write path goes tmp + fsync + rename: no temp file survives
+        # and the target is a complete, parseable record file.
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name != path.name]
+        assert leftovers == []
+        assert len(RecordStore(path).load()) == 2
+
+    def test_negative_flush_interval_is_rejected(self, tmp_path):
+        from repro.errors import CampaignError
+        with pytest.raises(CampaignError):
+            Checkpoint(tmp_path / "run.jsonl", flush_interval_s=-1.0)
+
+    def test_engine_flushes_batched_checkpoint_on_exit(self, plan, tmp_path):
+        path = tmp_path / "run.jsonl"
+        engine = CampaignEngine(plan, checkpoint_path=str(path),
+                                flush_interval_s=3600.0)
+        engine.run()
+        # Every record was buffered during the run; the engine's final flush
+        # must land all of them even though the interval never elapsed.
+        assert len(RecordStore(path).load()) == len(plan)

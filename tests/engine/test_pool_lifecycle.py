@@ -1,69 +1,53 @@
-"""Worker-pool teardown discipline of :func:`execute_pool`.
+"""Worker teardown discipline of the supervised pool.
 
-Clean exhaustion must wind the pool down with ``close()`` + ``join()`` —
-``terminate()`` kills workers mid-teardown and can leak multiprocessing
-resources — while an early exit (consumer stops, exception propagates) must
-still ``terminate()`` promptly so no worker outlives its stream.
+Clean exhaustion must stop the workers cooperatively and reap every child
+process; an early exit (consumer stops mid-stream, exception propagates) must
+still release busy workers promptly. Either way no child may outlive the
+stream and no multiprocessing resources (queues, semaphores) may be left for
+the resource tracker to complain about — the pipe-per-worker design means
+there is nothing shared to leak.
 """
 
+import multiprocessing
+import time
+
 from repro.core.plan import paper_figure3_plan
-from repro.engine import workers
 from repro.engine.scheduler import build_work_queue
 from repro.engine.workers import execute_pool
 
 
-class RecordingPool:
-    """Wraps a real multiprocessing pool and records lifecycle calls."""
-
-    def __init__(self, pool, calls):
-        self._pool = pool
-        self.calls = calls
-
-    def imap_unordered(self, fn, tasks):
-        return self._pool.imap_unordered(fn, tasks)
-
-    def close(self):
-        self.calls.append("close")
-        self._pool.close()
-
-    def terminate(self):
-        self.calls.append("terminate")
-        self._pool.terminate()
-
-    def join(self):
-        self.calls.append("join")
-        self._pool.join()
-
-
-class RecordingContext:
-    def __init__(self, context, calls):
-        self._context = context
-        self.calls = calls
-
-    def Pool(self, *args, **kwargs):
-        return RecordingPool(self._context.Pool(*args, **kwargs), self.calls)
-
-
-def patched_queue_and_calls(monkeypatch):
-    calls = []
-    real_context = workers._pool_context()
-    monkeypatch.setattr(workers, "_pool_context",
-                        lambda: RecordingContext(real_context, calls))
-    plan = paper_figure3_plan(num_tests=4, duration=1.0)
-    return build_work_queue(plan), calls
+def _wait_for_no_new_children(baseline, deadline_s: float = 5.0):
+    """Children beyond ``baseline`` still alive after ``deadline_s``."""
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        extra = [child for child in multiprocessing.active_children()
+                 if child not in baseline]
+        if not extra:
+            return []
+        time.sleep(0.02)
+    return extra
 
 
 class TestPoolTeardown:
-    def test_clean_exhaustion_closes_instead_of_terminating(self, monkeypatch):
-        queue, calls = patched_queue_and_calls(monkeypatch)
+    def test_clean_exhaustion_reaps_every_worker(self):
+        baseline = set(multiprocessing.active_children())
+        queue = build_work_queue(paper_figure3_plan(num_tests=4, duration=1.0))
         results = list(execute_pool(queue, jobs=2))
         assert len(results) == 4
         assert sorted(index for index, _ in results) == [0, 1, 2, 3]
-        assert calls == ["close", "join"]
+        assert _wait_for_no_new_children(baseline) == []
 
-    def test_early_exit_terminates(self, monkeypatch):
-        queue, calls = patched_queue_and_calls(monkeypatch)
+    def test_early_exit_releases_workers(self):
+        baseline = set(multiprocessing.active_children())
+        queue = build_work_queue(paper_figure3_plan(num_tests=6, duration=1.0))
         stream = execute_pool(queue, jobs=2)
         next(stream)
         stream.close()                       # consumer walks away mid-stream
-        assert calls == ["terminate", "join"]
+        assert _wait_for_no_new_children(baseline) == []
+
+    def test_stream_yields_nothing_after_close(self):
+        queue = build_work_queue(paper_figure3_plan(num_tests=4, duration=1.0))
+        stream = execute_pool(queue, jobs=2)
+        next(stream)
+        stream.close()
+        assert list(stream) == []

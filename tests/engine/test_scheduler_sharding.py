@@ -1,10 +1,14 @@
 """Tests for deterministic sharding and work-queue construction."""
 
+import dataclasses
+
 import pytest
 
-from repro.core.plan import paper_figure3_plan
+from repro.core.plan import TestPlan, paper_figure3_plan
 from repro.engine.scheduler import (
     build_work_queue,
+    group_by_prefix,
+    shard_families,
     shard_for_pool,
     shard_work,
     suggest_chunk_size,
@@ -81,3 +85,66 @@ class TestPoolSharding:
         assert suggest_chunk_size(0, 4) == 1
         assert suggest_chunk_size(10_000, 4) == 8   # capped for checkpointing
         assert suggest_chunk_size(64, 2) == 8
+
+
+def _one_family_plan(variants: int) -> TestPlan:
+    """A plan whose specs all share one pre-injection prefix (same seed)."""
+    base = paper_figure3_plan(num_tests=1, duration=2.0).specs[0]
+    plan = TestPlan(name="one-family")
+    for index in range(variants):
+        plan.add(dataclasses.replace(base, name=f"variant-{index:04d}"))
+    return plan
+
+
+class TestFamilySharding:
+    def test_empty_campaign_yields_no_shards(self):
+        assert group_by_prefix([]) == []
+        assert shard_families([], 1) == []
+        assert shard_families([], 4, min_shards=8) == []
+
+    def test_single_family_larger_than_chunk_stays_whole(self):
+        queue = build_work_queue(_one_family_plan(6))
+        families = group_by_prefix(queue)
+        assert len(families) == 1
+        # chunk_size merges small families; it never splits one, because a
+        # split slice re-pays the family's prefix. Only min_shards does that.
+        shards = shard_families(families, 2, min_shards=1)
+        assert len(shards) == 1
+        assert [item.index for item in shards[0].items] == list(range(6))
+
+    def test_all_cold_boot_specs_become_singleton_shards(self):
+        plan = _one_family_plan(5)
+        plan.specs = [dataclasses.replace(spec, cold_boot=True)
+                      for spec in plan.specs]
+        queue = build_work_queue(plan)
+        families = group_by_prefix(queue)
+        # Cold-boot opt-outs never share snapshots: one family per item.
+        assert [len(family) for family in families] == [1] * 5
+        shards = shard_families(families, 1)
+        assert [len(shard) for shard in shards] == [1] * 5
+        covered = sorted(item.index for shard in shards
+                         for item in shard.items)
+        assert covered == list(range(5))
+
+    def test_min_shards_bisects_when_families_are_scarce(self):
+        queue = build_work_queue(_one_family_plan(8))
+        families = group_by_prefix(queue)
+        shards = shard_families(families, 1, min_shards=4)
+        # One 8-variant family, four workers: bisected into four slices so
+        # nobody idles; each slice keeps queue order and covers everything.
+        assert len(shards) == 4
+        assert [len(shard) for shard in shards] == [2, 2, 2, 2]
+        covered = sorted(item.index for shard in shards
+                         for item in shard.items)
+        assert covered == list(range(8))
+        for shard in shards:
+            indices = [item.index for item in shard.items]
+            assert indices == sorted(indices)
+
+    def test_min_shards_stops_at_singleton_tasks(self):
+        plan = paper_figure3_plan(num_tests=2, duration=2.0)
+        families = group_by_prefix(build_work_queue(plan))
+        # Two singleton families cannot be split further than two shards, no
+        # matter how many workers are waiting.
+        shards = shard_families(families, 1, min_shards=8)
+        assert len(shards) == 2

@@ -1,0 +1,282 @@
+"""Supervision layer: timeouts, retries, quarantine, worker liveness.
+
+Covers both supervision backends — the serial ``SIGALRM`` path and the
+:class:`~repro.engine.supervisor.SupervisedPool` — plus the policy and
+quarantine-log plumbing around them. The scenarios injected here are the
+infrastructure faults the layer exists for: specs that hang forever, specs
+that raise, and specs that SIGKILL their own worker process.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.campaign import Campaign
+from repro.core.outcomes import Outcome
+from repro.core.plan import paper_figure3_plan
+from repro.core.registry import RegistrySutFactory
+from repro.engine.quarantine import QuarantineLog, default_quarantine_path
+from repro.engine.scheduler import build_work_queue
+from repro.engine.supervisor import RunPolicy, infra_result
+from repro.engine.workers import execute_pool, execute_serial
+from repro.errors import CampaignError
+
+
+def fast_policy(**overrides) -> RunPolicy:
+    """A RunPolicy with test-friendly backoffs (keeps retries sub-second)."""
+    defaults = dict(retries=1, backoff_s=0.01, backoff_cap_s=0.05,
+                    poll_s=0.02, shutdown_grace_s=2.0)
+    defaults.update(overrides)
+    return RunPolicy(**defaults)
+
+
+class EventRecorder:
+    def __init__(self):
+        self.events = []
+
+    def __call__(self, kind, **payload):
+        self.events.append((kind, payload))
+
+    def kinds(self):
+        return [kind for kind, _ in self.events]
+
+
+class FaultyFactory:
+    """Delegates to the real jailhouse factory, misbehaving on chosen seeds.
+
+    ``mode`` per seed: ``"raise"`` raises RuntimeError every call,
+    ``"hang"`` sleeps far past any test timeout, ``"kill"`` SIGKILLs its own
+    process. Picklable (plain attributes) so it crosses into pool workers
+    under any start method.
+    """
+
+    def __init__(self, modes):
+        self.modes = dict(modes)
+        self.base = RegistrySutFactory("jailhouse")
+
+    def __call__(self, seed):
+        mode = self.modes.get(seed)
+        if mode == "raise":
+            raise RuntimeError(f"synthetic fault for seed {seed}")
+        if mode == "hang":
+            time.sleep(300)
+        if mode == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        return self.base(seed)
+
+
+class FlakyOnceFactory:
+    """Raises on the first call for each marked seed, then behaves."""
+
+    def __init__(self, seeds):
+        self.remaining = set(seeds)
+        self.base = RegistrySutFactory("jailhouse")
+
+    def __call__(self, seed):
+        if seed in self.remaining:
+            self.remaining.remove(seed)
+            raise RuntimeError(f"transient fault for seed {seed}")
+        return self.base(seed)
+
+
+@pytest.fixture
+def plan():
+    return paper_figure3_plan(num_tests=4, duration=1.0)
+
+
+@pytest.fixture
+def queue(plan):
+    return build_work_queue(plan)
+
+
+class TestRunPolicy:
+    def test_defaults_validate(self):
+        RunPolicy().validate()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"timeout_s": 0.0},
+        {"timeout_s": -1.0},
+        {"retries": -1},
+        {"max_worker_restarts": -1},
+        {"backoff_s": -0.1},
+    ])
+    def test_invalid_values_are_rejected(self, kwargs):
+        with pytest.raises(CampaignError):
+            RunPolicy(**kwargs).validate()
+
+
+class TestInfraResult:
+    def test_carries_identity_and_blame(self, plan):
+        spec = plan.specs[0]
+        result = infra_result(spec, Outcome.INFRA_TIMEOUT, attempts=3,
+                              error="hung")
+        assert result.spec_name == spec.name
+        assert result.seed == spec.seed
+        assert result.outcome is Outcome.INFRA_TIMEOUT
+        assert result.injections == 0
+        assert result.extras["quarantined"] is True
+        assert result.extras["infra_attempts"] == 3
+
+    def test_rejects_simulation_outcomes(self, plan):
+        with pytest.raises(CampaignError):
+            infra_result(plan.specs[0], Outcome.CORRECT, attempts=1,
+                         error="nope")
+
+
+class TestSerialSupervision:
+    def test_hang_times_out_and_quarantines(self, queue):
+        events = EventRecorder()
+        factory = FaultyFactory({queue[1].spec.seed: "hang"})
+        results = dict(execute_serial(
+            queue, factory, policy=fast_policy(timeout_s=0.2, retries=1),
+            on_event=events))
+        assert results[1].outcome is Outcome.INFRA_TIMEOUT
+        assert results[1].extras["infra_attempts"] == 2
+        assert all(not results[i].outcome.is_infrastructure
+                   for i in (0, 2, 3))
+        assert events.kinds() == ["experiment_timeout", "experiment_retry",
+                                  "experiment_timeout", "spec_quarantined"]
+
+    def test_persistent_error_quarantines_as_crash(self, queue):
+        events = EventRecorder()
+        factory = FaultyFactory({queue[0].spec.seed: "raise"})
+        results = dict(execute_serial(
+            queue, factory, policy=fast_policy(retries=2), on_event=events))
+        assert results[0].outcome is Outcome.INFRA_CRASH
+        assert "RuntimeError" in results[0].extras["infra_error"]
+        assert events.kinds() == ["experiment_retry", "experiment_retry",
+                                  "spec_quarantined"]
+        kind, payload = events.events[-1]
+        assert payload["spec"] == queue[0].spec.name
+        assert payload["attempts"] == 3
+        assert payload["spec_id"] == queue[0].spec.identity()
+
+    def test_transient_error_retries_to_the_clean_result(self, queue):
+        clean = dict(execute_serial(queue, RegistrySutFactory("jailhouse")))
+        events = EventRecorder()
+        factory = FlakyOnceFactory([queue[2].spec.seed])
+        retried = dict(execute_serial(
+            queue, factory, policy=fast_policy(retries=1), on_event=events))
+        assert events.kinds() == ["experiment_retry"]
+        # The retry re-runs with the original seed: bit-identical outcome.
+        assert {i: r.outcome for i, r in retried.items()} == \
+               {i: r.outcome for i, r in clean.items()}
+        assert retried[2].injections == clean[2].injections
+
+    def test_fail_fast_propagates_the_original_exception(self, queue):
+        factory = FaultyFactory({queue[0].spec.seed: "raise"})
+        with pytest.raises(RuntimeError):
+            list(execute_serial(queue, factory,
+                                policy=fast_policy(retries=0, fail_fast=True)))
+
+    def test_no_policy_keeps_the_historical_contract(self, queue):
+        factory = FaultyFactory({queue[0].spec.seed: "raise"})
+        with pytest.raises(RuntimeError):
+            list(execute_serial(queue, factory))
+
+
+class TestPoolSupervision:
+    def test_worker_crash_is_retried_then_quarantined(self, queue):
+        events = EventRecorder()
+        factory = FaultyFactory({queue[1].spec.seed: "kill"})
+        results = dict(execute_pool(
+            queue, jobs=2, sut_factory=factory,
+            policy=fast_policy(retries=1), on_event=events))
+        assert len(results) == 4
+        assert results[1].outcome is Outcome.INFRA_CRASH
+        assert all(not results[i].outcome.is_infrastructure
+                   for i in (0, 2, 3))
+        kinds = events.kinds()
+        assert kinds.count("worker_crash") == 2       # initial + retry
+        assert kinds.count("experiment_retry") == 1
+        assert kinds.count("spec_quarantined") == 1
+        assert kinds.count("worker_respawn") == 2
+
+    def test_hang_is_killed_by_the_watchdog(self, queue):
+        events = EventRecorder()
+        factory = FaultyFactory({queue[0].spec.seed: "hang"})
+        started = time.monotonic()
+        results = dict(execute_pool(
+            queue, jobs=2, sut_factory=factory,
+            policy=fast_policy(timeout_s=0.5, retries=0), on_event=events))
+        assert time.monotonic() - started < 30
+        assert results[0].outcome is Outcome.INFRA_TIMEOUT
+        kinds = events.kinds()
+        assert "experiment_timeout" in kinds
+        # A deliberate timeout kill is not a crash and always respawns.
+        assert "worker_crash" not in kinds
+        assert "worker_respawn" in kinds
+
+    def test_exhausted_restart_budget_aborts(self, queue):
+        factory = FaultyFactory(
+            {item.spec.seed: "kill" for item in queue})
+        with pytest.raises(CampaignError, match="respawn budget"):
+            list(execute_pool(
+                queue, jobs=2, sut_factory=factory,
+                policy=fast_policy(retries=0, max_worker_restarts=0)))
+
+    def test_legacy_path_survives_worker_death(self, queue):
+        # No policy: exceptions would propagate, but a SIGKILLed worker --
+        # which used to wedge the bare multiprocessing.Pool forever -- is
+        # respawned and the campaign aborts with a diagnosable error.
+        factory = FaultyFactory({queue[2].spec.seed: "kill"})
+        with pytest.raises(CampaignError, match="died"):
+            list(execute_pool(queue, jobs=2, sut_factory=factory))
+
+    def test_legacy_path_propagates_worker_exceptions(self, queue):
+        factory = FaultyFactory({queue[0].spec.seed: "raise"})
+        with pytest.raises(RuntimeError, match="synthetic fault"):
+            list(execute_pool(queue, jobs=2, sut_factory=factory))
+
+
+class TestEngineQuarantineFlow:
+    def test_quarantined_spec_is_reoffered_on_resume(self, tmp_path):
+        plan = paper_figure3_plan(num_tests=4, duration=1.0)
+        checkpoint = tmp_path / "records.jsonl"
+        campaign = Campaign(plan)
+        bad_seed = plan.specs[2].seed
+        campaign.sut_factory = FaultyFactory({bad_seed: "raise"})
+        result = campaign.run(jobs=1, checkpoint_path=str(checkpoint),
+                              resume=True, retries=1)
+        assert len(result.results) == 4
+        assert [r.spec_name for r in result.quarantined()] == \
+               [plan.specs[2].name]
+
+        quarantine_path = default_quarantine_path(checkpoint)
+        log = QuarantineLog(quarantine_path)
+        entries = log.entries()
+        assert [entry["spec"] for entry in entries] == [plan.specs[2].name]
+        assert entries[0]["reason"] == "error"
+
+        # The quarantined spec was not checkpointed, so a resumed run with a
+        # healthy factory re-offers and re-executes exactly that spec.
+        campaign.sut_factory = RegistrySutFactory("jailhouse")
+        resumed = campaign.run(jobs=1, checkpoint_path=str(checkpoint),
+                               resume=True, retries=1)
+        assert len(resumed.results) == 4
+        assert resumed.quarantined() == []
+        assert QuarantineLog(quarantine_path).entries() == []
+
+    def test_quarantine_log_reoffer_is_selective(self, tmp_path):
+        plan = paper_figure3_plan(num_tests=2, duration=1.0)
+        log = QuarantineLog(tmp_path / "q.jsonl")
+        log.append(spec=plan.specs[0].name, spec_id=plan.specs[0].identity(),
+                   seed=plan.specs[0].seed, scenario="steady-state",
+                   attempts=2, reason="crash", error="boom")
+        log.append(spec="someone-else", spec_id="not-in-this-plan",
+                   seed=99, scenario="steady-state",
+                   attempts=1, reason="timeout", error="hung")
+        assert log.reoffer(plan) == 1
+        remaining = log.entries()
+        assert [entry["spec"] for entry in remaining] == ["someone-else"]
+
+    def test_quarantine_log_skips_torn_lines(self, tmp_path):
+        path = tmp_path / "q.jsonl"
+        log = QuarantineLog(path)
+        log.append(spec="a", spec_id="id-a", seed=1, scenario="s",
+                   attempts=1, reason="crash", error="x")
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"torn": ')
+        assert [entry["spec"] for entry in log.entries()] == ["a"]
