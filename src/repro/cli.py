@@ -224,6 +224,8 @@ def _observability(plan, args):
 
 def _run_plan(plan, args, sut_factory=None, classifier=None,
               prefix_cache_default: bool = False,
+              batch_default: bool = False,
+              batch_size_default: "int | None" = None,
               chunk_size_default: "int | str | None" = None,
               timeout_default: "float | None" = None,
               retries_default: "int | None" = None,
@@ -239,6 +241,12 @@ def _run_plan(plan, args, sut_factory=None, classifier=None,
     prefix_cache = getattr(args, "prefix_cache", None)
     if prefix_cache is None:
         prefix_cache = prefix_cache_default
+    batch = getattr(args, "batch", None)
+    if batch is None:
+        batch = batch_default
+    batch_size = getattr(args, "batch_size", None)
+    if batch_size is None:
+        batch_size = batch_size_default
     chunk_size = _parse_chunk_size(getattr(args, "chunk_size", None))
     if chunk_size is None:
         chunk_size = chunk_size_default
@@ -279,6 +287,8 @@ def _run_plan(plan, args, sut_factory=None, classifier=None,
             chunk_size=chunk_size,
             pooling=getattr(args, "pooling", False),
             prefix_cache=prefix_cache,
+            batch=batch,
+            batch_size=batch_size,
             progress=progress,
             telemetry=telemetry,
             timeout_s=timeout_s,
@@ -306,6 +316,13 @@ def _run_plan(plan, args, sut_factory=None, classifier=None,
         print(f"prefix cache: {stats['hits']} hits / {stats['misses']} "
               f"misses ({stats['hits'] / executed:.0%} of cached "
               f"experiments fast-forwarded)", file=sys.stderr)
+    batch_stats = result.batch_stats()
+    if batch_stats["batched"]:
+        lockstep = batch_stats["batched"] - batch_stats["evicted"]
+        print(f"batching: {batch_stats['batched']} experiments in lockstep "
+              f"batches ({lockstep} stayed in lockstep, "
+              f"{batch_stats['evicted']} evicted to scalar replay, "
+              f"{batch_stats['scalar']} ran scalar)", file=sys.stderr)
     if engine.reoffered:
         print(f"re-offered {engine.reoffered} previously quarantined "
               f"spec(s) from {engine.quarantine.path}", file=sys.stderr)
@@ -400,6 +417,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         sut_factory=config.sut_factory(override=args.sut),
         classifier=config.build_classifier(),
         prefix_cache_default=config.prefix_cache,
+        batch_default=config.batch,
+        batch_size_default=config.batch_size,
         chunk_size_default=config.chunk_size,
         timeout_default=config.timeout_s,
         retries_default=config.retries,
@@ -720,6 +739,21 @@ def build_parser() -> argparse.ArgumentParser:
                                   "execution; implies --pooling); "
                                   "--no-prefix-cache overrides a config that "
                                   "enables it")
+        command.add_argument("--batch",
+                             action=argparse.BooleanOptionalAction,
+                             default=None,
+                             help="step all fault variants of a prefix "
+                                  "family through one shared simulation in "
+                                  "lockstep until their injectors fire "
+                                  "(records are identical to scalar "
+                                  "execution; implies --prefix-cache); "
+                                  "--no-batch overrides a config that "
+                                  "enables it")
+        command.add_argument("--batch-size", type=int, default=None,
+                             metavar="N",
+                             help="max lanes per lockstep batch "
+                                  "(default 16); only meaningful with "
+                                  "--batch")
         command.add_argument("--chunk-size", metavar="N|auto",
                              help="experiments per pool task (default 1: "
                                   "every completion streams/checkpoints "

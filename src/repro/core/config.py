@@ -60,8 +60,8 @@ _CAMPAIGN_KEYS = frozenset({
     "name", "description", "tests", "base_seed", "duration", "settle_time",
     "warmup_time", "observe_time", "intensity", "scenario", "sut",
     "classifier", "sampling", "sample_size", "sample_seed",
-    "high_intensity_registers", "prefix_cache", "chunk_size",
-    "timeout_s", "retries", "max_worker_restarts",
+    "high_intensity_registers", "prefix_cache", "batch", "batch_size",
+    "chunk_size", "timeout_s", "retries", "max_worker_restarts",
 })
 #: Top-level tables/arrays accepted next to ``[campaign]``.
 _TOP_LEVEL_KEYS = frozenset({"campaign", "target", "trigger", "fault_model"})
@@ -158,6 +158,13 @@ class CampaignConfig:
     #: cold execution). The CLI's ``--prefix-cache/--no-prefix-cache``
     #: overrides this.
     prefix_cache: bool = False
+    #: Batched lockstep core: step all fault variants of a prefix family
+    #: through one shared simulation until their injectors fire (implies
+    #: ``prefix_cache``; records identical to scalar execution).
+    #: ``batch_size`` caps the lanes per batch (``None`` = engine default).
+    #: The CLI's ``--batch/--no-batch`` and ``--batch-size`` override these.
+    batch: bool = False
+    batch_size: Optional[int] = None
     #: Pool-task granularity: a positive int, ``"auto"``, or ``None`` for the
     #: engine default of one experiment per task. The CLI's ``--chunk-size``
     #: overrides this.
@@ -231,6 +238,9 @@ class CampaignConfig:
                          if "sample_size" in campaign else None),
             sample_seed=int(campaign.get("sample_seed", 0)),
             prefix_cache=bool(campaign.get("prefix_cache", False)),
+            batch=bool(campaign.get("batch", False)),
+            batch_size=(int(campaign["batch_size"])
+                        if "batch_size" in campaign else None),
             chunk_size=campaign.get("chunk_size"),
             timeout_s=(float(campaign["timeout_s"])
                        if "timeout_s" in campaign else None),
@@ -283,6 +293,12 @@ class CampaignConfig:
         if self.max_worker_restarts is not None and self.max_worker_restarts < 0:
             raise CampaignConfigError(
                 "[campaign] max_worker_restarts must be non-negative")
+        if self.batch_size is not None and (
+                isinstance(self.batch_size, bool)
+                or not isinstance(self.batch_size, int)
+                or self.batch_size <= 0):
+            raise CampaignConfigError(
+                "[campaign] batch_size must be a positive integer")
         if self.chunk_size is not None:
             # Deferred import: core describes campaigns, engine executes
             # them, and the chunk-size rule belongs to the execution layer.

@@ -94,27 +94,51 @@ class FaultInjector:
 
     # -- the hook itself ----------------------------------------------------------------
 
-    def _entry_hook(self, handler_name: str, cpu: CpuCore, context: TrapContext) -> None:
+    def observe_call(self, handler_name: str, cpu_id: int) -> bool:
+        """Advance counters/trigger for one handler call; report a fire.
+
+        This is the *decision* half of the entry hook: counters, target
+        matching, the injection budget, and the trigger draw — everything up
+        to (and including) ``should_fire``, with the exact operation and RNG
+        order of the combined hook, but without touching the trap context.
+        The batched lockstep core feeds each lane's injector through this
+        method while all lanes still share one simulated state: as long as no
+        lane fires, observation is the only injector activity, so the shared
+        state remains bit-identical to every lane's would-be scalar run. A
+        ``True`` return is the moment the scalar run would diverge — the
+        caller must evict the lane (replay it scalar) instead of continuing.
+        """
         self.total_calls += 1
         if not self.armed:
-            return
-        if not self.target.matches(handler_name, cpu.cpu_id):
-            return
+            return False
+        if not self.target.matches(handler_name, cpu_id):
+            return False
         self.matching_calls += 1
         if self.max_injections is not None and len(self.records) >= self.max_injections:
-            return
-        if not self.trigger.should_fire(self.matching_calls, self.rng):
-            return
+            return False
+        return self.trigger.should_fire(self.matching_calls, self.rng)
+
+    def apply_fault(self, handler_name: str, cpu_id: int,
+                    context: TrapContext) -> None:
+        """Apply the fault model to ``context`` and record the activation.
+
+        The *action* half of the entry hook; call only after
+        :meth:`observe_call` returned ``True`` for the same handler call.
+        """
         faults = self.fault_model.apply(context, self.rng)
         self.records.append(
             InjectionRecord(
                 timestamp=context.timestamp,
                 handler=handler_name,
-                cpu_id=cpu.cpu_id,
+                cpu_id=cpu_id,
                 call_index=self.matching_calls,
                 faults=tuple(faults),
             )
         )
+
+    def _entry_hook(self, handler_name: str, cpu: CpuCore, context: TrapContext) -> None:
+        if self.observe_call(handler_name, cpu.cpu_id):
+            self.apply_fault(handler_name, cpu.cpu_id, context)
 
     # -- reporting ------------------------------------------------------------------------
 

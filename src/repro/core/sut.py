@@ -136,6 +136,10 @@ class JailhouseSUT(SystemUnderTest):
         self.injectors: List[FaultInjector] = []
         self._lifecycle_done = False
         self._log_collector = LogCollector(self.board.uart)
+        #: Optional telemetry bus (:meth:`attach_telemetry`). ``None`` by
+        #: default: :meth:`run` checks it once per call, never per step, so
+        #: an uninstrumented SUT runs the exact historical hot path.
+        self.telemetry = None
         #: Snapshot-pooling state: ``_pristine`` is the post-construction
         #: state (captured when pooling is enabled), ``_boot_snapshot`` the
         #: post-``setup()`` steady state for the current seed.
@@ -322,10 +326,25 @@ class JailhouseSUT(SystemUnderTest):
 
     # -- simulation loop ----------------------------------------------------------------------------
 
+    def attach_telemetry(self, bus) -> None:
+        """Attach a :class:`~repro.obs.telemetry.Telemetry` bus to this SUT.
+
+        While the bus is active, every :meth:`run` emits two aggregate
+        ``span`` events — ``sut.guest_step`` (the per-tick guest execution
+        loop) and ``sut.trap_dispatch`` (workload-generated trap handling) —
+        with total elapsed seconds and call counts for that run. An inactive
+        or absent bus costs one check per :meth:`run` call, never per step.
+        """
+        self.telemetry = bus
+
     def run(self, duration: float) -> None:
         """Drive the workload; stops early if the whole system panics."""
         steps = max(1, int(round(duration / self.config.timestep)))
         timestep = self.config.timestep
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.active:
+            self._run_instrumented(steps, timestep, telemetry)
+            return
         hypervisor = self.hypervisor
         panicked_state = HypervisorState.PANICKED
         step = self._step
@@ -334,13 +353,59 @@ class JailhouseSUT(SystemUnderTest):
                 break
             step(timestep)
 
+    def _run_instrumented(self, steps: int, timestep: float,
+                          telemetry) -> None:
+        """The :meth:`run` loop with span instrumentation.
+
+        Timing wraps the existing :meth:`_step`/:meth:`_dispatch_guest_event`
+        rather than duplicating them (one hot path to keep correct); the
+        dispatch wrapper shadows the bound method for the duration of this
+        run only, and nested resume-fault dispatches are folded into their
+        depth-0 ancestor's time.
+        """
+        from time import perf_counter
+
+        hypervisor = self.hypervisor
+        panicked_state = HypervisorState.PANICKED
+        step_elapsed = 0.0
+        step_count = 0
+        dispatch = {"elapsed": 0.0, "count": 0}
+        inner_dispatch = self._dispatch_guest_event
+
+        def timed_dispatch(cpu_id, guest, event, *, depth):
+            if depth > 0:
+                return inner_dispatch(cpu_id, guest, event, depth=depth)
+            started = perf_counter()
+            try:
+                return inner_dispatch(cpu_id, guest, event, depth=depth)
+            finally:
+                dispatch["elapsed"] += perf_counter() - started
+                dispatch["count"] += 1
+
+        self._dispatch_guest_event = timed_dispatch
+        try:
+            for _ in range(steps):
+                if hypervisor.state is panicked_state:
+                    break
+                started = perf_counter()
+                self._step(timestep)
+                step_elapsed += perf_counter() - started
+                step_count += 1
+        finally:
+            del self._dispatch_guest_event
+        telemetry.emit("span", name="sut.guest_step",
+                       elapsed_s=step_elapsed, count=step_count)
+        telemetry.emit("span", name="sut.trap_dispatch",
+                       elapsed_s=dispatch["elapsed"],
+                       count=dispatch["count"])
+
     def _step(self, dt: float) -> None:
         # Hot path: attribute lookups hoisted, ``is_executing`` inlined as a
         # state comparison — this runs 50 times per simulated second.
         board = self.board
         hypervisor = self.hypervisor
         handlers = hypervisor.handlers
-        gic_pending = board.gic._pending
+        gic_pending = board.gic.pending_view()
         online = CpuState.ONLINE
         panicked_state = HypervisorState.PANICKED
         board.advance(dt)

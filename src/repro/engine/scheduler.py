@@ -180,6 +180,32 @@ def shard_families(families: Sequence[PrefixFamily], chunk_size: int = 1,
             for index, task in enumerate(tasks)]
 
 
+def plan_family_batches(family: PrefixFamily, batch_size: int,
+                        is_batchable) -> Tuple[List[List[WorkItem]],
+                                               List[WorkItem]]:
+    """Split one prefix family into lockstep batch tasks + scalar leftovers.
+
+    ``is_batchable`` decides spec eligibility for the batched lockstep core
+    (:func:`repro.engine.batch.batchable_spec` in production). Eligible
+    members form consecutive batches of at most ``batch_size`` lanes; the
+    rest run scalar. A batch needs at least two lanes to be worth the
+    boundary bookkeeping, so a lone eligible member — including a trailing
+    one left over by the split — joins the scalar leftovers. Deterministic:
+    members keep their family order, so repeated runs form identical batches.
+    """
+    if batch_size <= 0:
+        raise CampaignError(f"batch size must be positive, got {batch_size}")
+    eligible = [item for item in family.items if is_batchable(item.spec)]
+    scalar = [item for item in family.items if not is_batchable(item.spec)]
+    if len(eligible) < 2:
+        return [], list(family.items)
+    batches = [list(eligible[start:start + batch_size])
+               for start in range(0, len(eligible), batch_size)]
+    if len(batches[-1]) == 1:
+        scalar.append(batches.pop()[0])
+    return batches, scalar
+
+
 def normalize_chunk_size(value) -> "int | str | None":
     """Validate a chunk-size selector and return it unchanged.
 

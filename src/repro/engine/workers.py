@@ -49,9 +49,18 @@ from repro.core.experiment import (
 from repro.core.outcomes import OutcomeClassifier
 from repro.core.registry import resolve_sut_factory
 from repro.core.outcomes import Outcome
+from repro.engine.batch import (
+    DEFAULT_BATCH_SIZE,
+    BatchDivergenceError,
+    BatchStepper,
+    batchable_spec,
+    supports_batching,
+)
 from repro.engine.scheduler import (
+    PrefixFamily,
     WorkItem,
     group_by_prefix,
+    plan_family_batches,
     shard_families,
     shard_for_pool,
 )
@@ -266,6 +275,86 @@ def _run_item_prefix_cached(experiment: Experiment,
     return result
 
 
+#: Per-process batch counter: batch ids must be unique campaign-wide even
+#: when one family is sliced across workers (``shard_families`` bisection).
+_batch_sequence = 0
+
+
+def _next_batch_id(key: str) -> str:
+    global _batch_sequence
+    _batch_sequence += 1
+    return f"{key[:8]}@{os.getpid()}#{_batch_sequence}"
+
+
+def _run_family_batched(batches: Sequence[Sequence[WorkItem]],
+                        sut_factory: SutFactory,
+                        classifier: OutcomeClassifier,
+                        cache: PrefixSnapshotCache,
+                        ) -> Optional[List[IndexedResult]]:
+    """Run one prefix family's batchable members in lockstep.
+
+    The family's golden bring-up runs (or is fetched from the prefix cache)
+    exactly once; every batch then forks the post-prefix snapshot and a
+    :class:`~repro.engine.batch.BatchStepper` advances its lanes on one
+    shared simulated state, evicting a lane to the scalar path the moment
+    its injector fires. Returns ``None`` when the SUT cannot snapshot/fork
+    (baseline models) — the caller runs the items scalar instead.
+    """
+    items = [item for batch in batches for item in batch]
+    spec0 = items[0].spec
+    started = time.perf_counter()
+    key = spec0.prefix_key(sut=cache.sut_token)
+    entry = cache.get(key)
+    if entry is None:
+        sut = sut_factory(spec0.seed)
+        if not _supports_prefix_forking(sut) or not supports_batching(sut):
+            cache.misses -= 1           # not a real miss: the SUT can't batch
+            cache.bypasses += 1
+            return None
+        hit = False
+    else:
+        sut = entry.sut
+        if not supports_batching(sut):
+            return None
+        hit = True
+    results: List[IndexedResult] = []
+    worker_id = os.getpid()
+    try:
+        if hit:
+            snapshot = entry.snapshot
+        else:
+            Experiment(spec0, sut_factory=sut_factory,
+                       classifier=classifier).run_prefix(sut)
+            snapshot = sut.snapshot()
+            if cache.worth_caching(key):
+                cache.put(key, sut, snapshot)
+        prefix_elapsed = time.perf_counter() - started
+        first = True
+        for batch in batches:
+            fork_started = time.perf_counter()
+            sut.fork_from_snapshot(snapshot, seed=spec0.seed)
+            fork_elapsed = time.perf_counter() - fork_started
+            stepper = BatchStepper(
+                sut,
+                [Experiment(item.spec, sut_factory=sut_factory,
+                            classifier=classifier) for item in batch],
+                batch_id=_next_batch_id(key),
+            )
+            for item, result in zip(batch, stepper.run()):
+                # Mirror the scalar bookkeeping: the lane that executed the
+                # family's prefix reports a miss, every forked lane a hit.
+                result.prefix_cache_hit = hit or not first
+                result.prefix_wall_time = (prefix_elapsed
+                                           if not hit and first
+                                           else fork_elapsed)
+                result.worker_id = worker_id
+                first = False
+                results.append((item.index, result))
+    finally:
+        sut.teardown()
+    return results
+
+
 def shareable_keys_of(families) -> frozenset:
     """Prefix keys that more than one queued spec shares.
 
@@ -283,7 +372,9 @@ def _init_worker(sut_factory: SutFactory,
                  pooling: bool = False,
                  prefix_cache: bool = False,
                  prefix_cache_size: int = DEFAULT_PREFIX_CACHE_SIZE,
-                 shareable_keys: Optional[frozenset] = None) -> None:
+                 shareable_keys: Optional[frozenset] = None,
+                 batch: bool = False,
+                 batch_size: Optional[int] = None) -> None:
     if pooling:
         sut_factory = PooledSutFactory(sut_factory)
     _WORKER_STATE["sut_factory"] = sut_factory
@@ -293,6 +384,9 @@ def _init_worker(sut_factory: SutFactory,
                             sut_token=sut_token(sut_factory),
                             shareable_keys=shareable_keys)
         if prefix_cache else None
+    )
+    _WORKER_STATE["batch_size"] = (
+        (batch_size or DEFAULT_BATCH_SIZE) if batch and prefix_cache else None
     )
 
 
@@ -318,8 +412,46 @@ def _run_chunk(chunk: Sequence[WorkItem]) -> List[IndexedResult]:
     sut_factory = _WORKER_STATE["sut_factory"]
     classifier = _WORKER_STATE["classifier"]
     prefix_cache = _WORKER_STATE.get("prefix_cache")
+    batch_size = _WORKER_STATE.get("batch_size")
+    if batch_size and prefix_cache is not None:
+        return _run_chunk_batched(chunk, sut_factory, classifier,
+                                  prefix_cache, batch_size)
     return [_run_item(item, sut_factory, classifier, prefix_cache)
             for item in chunk]
+
+
+def _run_chunk_batched(chunk: Sequence[WorkItem],
+                       sut_factory: SutFactory,
+                       classifier: OutcomeClassifier,
+                       cache: PrefixSnapshotCache,
+                       batch_size: int) -> List[IndexedResult]:
+    """Pool task with lockstep batching: regroup the chunk into families.
+
+    ``shard_families`` already hands out family-contiguous chunks, so the
+    regrouping is a cheap pass; each family's batchable members run through
+    :func:`_run_family_batched` and everything else (lifecycle/park
+    scenarios, cold boots, singleton leftovers) takes the scalar path. A
+    violated lockstep invariant falls back to scalar for the whole family —
+    correctness never depends on the batch succeeding.
+    """
+    results: List[IndexedResult] = []
+    for family in group_by_prefix(chunk, sut_token=cache.sut_token):
+        batches, scalar_items = plan_family_batches(
+            family, batch_size, batchable_spec)
+        batched = None
+        if batches:
+            try:
+                batched = _run_family_batched(batches, sut_factory,
+                                              classifier, cache)
+            except BatchDivergenceError:
+                _reset_worker_state(sut_factory, cache)
+        if batched is None:
+            scalar_items = family.items
+        else:
+            results.extend(batched)
+        for item in scalar_items:
+            results.append(_run_item(item, sut_factory, classifier, cache))
+    return results
 
 
 class _SerialTimeout(Exception):
@@ -438,6 +570,53 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context("spawn")
 
 
+def _serial_family_batched(family: PrefixFamily,
+                           sut_factory: SutFactory,
+                           classifier: OutcomeClassifier,
+                           cache: PrefixSnapshotCache,
+                           batch_size: int,
+                           policy: Optional[RunPolicy],
+                           on_event: Optional[EventCallback],
+                           ) -> Iterator[IndexedResult]:
+    """Serial flavour of one family's lockstep execution, supervised.
+
+    A lockstep batch does the work of all its lanes in one pass, so the
+    serial deadline covers the whole family at ``timeout_s`` per lane; a
+    timeout, a divergence, or (under a policy) any error resets the worker
+    state and re-runs the family item by item through the ordinary
+    supervised scalar path — retries and quarantine semantics included.
+    """
+    batches, scalar_items = plan_family_batches(family, batch_size,
+                                                batchable_spec)
+    batched = None
+    if batches:
+        lanes = sum(len(batch) for batch in batches)
+        try:
+            if policy is not None and policy.timeout_s:
+                with _serial_deadline(policy.timeout_s * lanes):
+                    batched = _run_family_batched(batches, sut_factory,
+                                                  classifier, cache)
+            else:
+                batched = _run_family_batched(batches, sut_factory,
+                                              classifier, cache)
+        except (BatchDivergenceError, _SerialTimeout):
+            _reset_worker_state(sut_factory, cache)
+        except Exception:  # noqa: BLE001 - policy decides the fate
+            if policy is None:
+                raise
+            _reset_worker_state(sut_factory, cache)
+    if batched is None:
+        scalar_items = family.items
+    else:
+        yield from batched
+    for item in scalar_items:
+        if policy is None:
+            yield _run_item(item, sut_factory, classifier, cache)
+        else:
+            yield _run_item_with_policy(item, sut_factory, classifier, cache,
+                                        policy, on_event)
+
+
 def execute_serial(items: Sequence[WorkItem],
                    sut_factory: "SutFactory | str" = default_sut_factory,
                    classifier: Optional[OutcomeClassifier] = None,
@@ -446,6 +625,8 @@ def execute_serial(items: Sequence[WorkItem],
                    prefix_cache_size: int = DEFAULT_PREFIX_CACHE_SIZE,
                    policy: Optional[RunPolicy] = None,
                    on_event: Optional[EventCallback] = None,
+                   batch: bool = False,
+                   batch_size: Optional[int] = None,
                    ) -> Iterator[IndexedResult]:
     """Run every item in queue order in this process (the ``jobs=1`` backend).
 
@@ -454,6 +635,11 @@ def execute_serial(items: Sequence[WorkItem],
     bounded LRU of post-prefix snapshots serves every follow-up member of a
     family without re-running its golden bring-up.
 
+    With ``batch`` (implies ``prefix_cache``) each family's steady-state
+    members additionally run in lockstep on one shared simulated state
+    (:mod:`repro.engine.batch`), paying per-lane simulation cost only for
+    lanes whose fault actually fires.
+
     A ``policy`` adds the serial flavour of supervision: a ``SIGALRM``
     deadline per experiment, retries with backoff, and quarantine with
     synthesized infrastructure results. ``None`` keeps the historical
@@ -461,9 +647,11 @@ def execute_serial(items: Sequence[WorkItem],
     """
     classifier = classifier or OutcomeClassifier()
     sut_factory = resolve_sut_factory(sut_factory)
+    prefix_cache = prefix_cache or batch
     if pooling:
         sut_factory = PooledSutFactory(sut_factory)
     cache = None
+    families = None
     if prefix_cache:
         token = sut_token(sut_factory)
         families = group_by_prefix(items, sut_token=token)
@@ -471,11 +659,18 @@ def execute_serial(items: Sequence[WorkItem],
             prefix_cache_size, sut_token=token,
             shareable_keys=shareable_keys_of(families))
         items = [item for family in families for item in family.items]
+    if policy is not None:
+        policy.validate()
+    if batch and families is not None:
+        size = batch_size or DEFAULT_BATCH_SIZE
+        for family in families:
+            yield from _serial_family_batched(family, sut_factory, classifier,
+                                              cache, size, policy, on_event)
+        return
     if policy is None:
         for item in items:
             yield _run_item(item, sut_factory, classifier, cache)
         return
-    policy.validate()
     for item in items:
         yield _run_item_with_policy(item, sut_factory, classifier, cache,
                                     policy, on_event)
@@ -491,6 +686,8 @@ def execute_pool(items: Sequence[WorkItem],
                  prefix_cache_size: int = DEFAULT_PREFIX_CACHE_SIZE,
                  policy: Optional[RunPolicy] = None,
                  on_event: Optional[EventCallback] = None,
+                 batch: bool = False,
+                 batch_size: Optional[int] = None,
                  ) -> Iterator[IndexedResult]:
     """Run items across ``jobs`` supervised worker processes, streaming.
 
@@ -529,10 +726,12 @@ def execute_pool(items: Sequence[WorkItem],
     """
     jobs = resolve_jobs(jobs)
     sut_factory = resolve_sut_factory(sut_factory)
+    prefix_cache = prefix_cache or batch
     if jobs == 1 or len(items) <= 1:
         yield from execute_serial(items, sut_factory, classifier, pooling,
                                   prefix_cache, prefix_cache_size,
-                                  policy=policy, on_event=on_event)
+                                  policy=policy, on_event=on_event,
+                                  batch=batch, batch_size=batch_size)
         return
     size = chunk_size or 1
     shareable = None
@@ -551,7 +750,8 @@ def execute_pool(items: Sequence[WorkItem],
         jobs=jobs,
         context=_pool_context(),
         init_args=(sut_factory, classifier, pooling,
-                   prefix_cache, prefix_cache_size, shareable),
+                   prefix_cache, prefix_cache_size, shareable,
+                   batch, batch_size),
         policy=policy or LEGACY_POLICY,
         on_event=on_event,
     )

@@ -1,0 +1,280 @@
+"""Structure-of-arrays hardware state for the batched lockstep core.
+
+The scalar model keeps one :class:`~repro.hw.registers.RegisterFile` per CPU
+(a dict of :class:`~repro.hw.registers.Register` to int). When the engine
+steps a whole prefix family in lockstep (:mod:`repro.engine.batch`), the
+per-lane architectural state lives here instead: a
+:class:`BatchedRegisterFile` packs ``num_lanes`` register files into one flat
+``array('Q')`` slab — one row per lane, one column per register — and each
+:class:`LaneRegisterFile` is a zero-copy view over its row that speaks the
+full ``RegisterFile`` API (read/write/flip/snapshot/load/reset/iteration),
+so code written against the scalar file runs unchanged against a lane.
+
+The slab layout buys two things the dict model cannot offer:
+
+* whole-lane operations (capture/restore/broadcast/compare) become
+  ``memoryview`` slice copies instead of 20 dict operations, and
+* lockstep integrity is a row comparison: :meth:`BatchedRegisterFile.
+  divergent_lanes` names every lane whose architectural state departed from
+  the batch reference, which is the stepper's cheap guard for the "no
+  pre-fire mutation" invariant.
+
+The second half of this module is batched memory dispatch:
+:func:`plan_page_groups`/:func:`batched_read` group same-page 1/2/4-byte
+accesses from many lanes, resolve each page *once* through
+:class:`~repro.hw.memory.PhysicalMemory`'s region/page index (the PR-2 fast
+path), and serve the group straight from the backing page — falling back to
+the scalar ``memory.read`` per access for MMIO windows, uncacheable pages,
+and cross-page spans, so permission errors surface exactly as they would
+scalar.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import InvalidRegisterError
+from repro.hw.memory import PAGE_SHIFT, PAGE_SIZE, MemoryFlags, PhysicalMemory
+from repro.hw.registers import WORD_MASK, Register, RegisterFile, make_cpsr
+
+#: Fixed column order of the slab: one column per modeled register.
+REGISTER_ORDER: Tuple[Register, ...] = tuple(Register)
+_REG_INDEX: Dict[Register, int] = {
+    reg: column for column, reg in enumerate(REGISTER_ORDER)
+}
+NUM_REGISTERS = len(REGISTER_ORDER)
+
+_BOOT_CPSR = make_cpsr(0b10011)           # boot in SVC mode, like RegisterFile
+_CPSR_COLUMN = _REG_INDEX[Register.CPSR]
+
+_PAGE_MASK = PAGE_SIZE - 1
+_READ_BIT = int(MemoryFlags.READ)
+
+
+class LaneRegisterFile:
+    """One lane's view into a :class:`BatchedRegisterFile` slab.
+
+    Implements the :class:`~repro.hw.registers.RegisterFile` API over a
+    ``memoryview`` row, so a lane can be handed to any code expecting the
+    scalar register file; writes land directly in the shared slab.
+    """
+
+    __slots__ = ("_row", "lane_index")
+
+    def __init__(self, row: memoryview, lane_index: int) -> None:
+        self._row = row
+        self.lane_index = lane_index
+
+    def read(self, register: Register) -> int:
+        try:
+            return self._row[_REG_INDEX[register]]
+        except KeyError as exc:  # pragma: no cover - defensive
+            raise InvalidRegisterError(f"unknown register {register!r}") from exc
+
+    def write(self, register: Register, value: int) -> None:
+        column = _REG_INDEX.get(register)
+        if column is None:
+            raise InvalidRegisterError(f"unknown register {register!r}")
+        if not isinstance(value, int):
+            raise InvalidRegisterError(
+                f"register value must be an int, got {type(value).__name__}"
+            )
+        self._row[column] = value & WORD_MASK
+
+    def flip(self, register: Register, bit: int) -> int:
+        from repro.hw.registers import flip_bit
+
+        new_value = flip_bit(self.read(register), bit)
+        self.write(register, new_value)
+        return new_value
+
+    def snapshot(self) -> Dict[Register, int]:
+        row = self._row
+        return {reg: row[column] for reg, column in _REG_INDEX.items()}
+
+    def load(self, values: Dict[Register, int]) -> None:
+        for reg, value in values.items():
+            self.write(reg, value)
+
+    def load_context(self, values: Dict[Register, int]) -> None:
+        # Trusted bulk load: values are already-masked ints keyed by Register.
+        row = self._row
+        index = _REG_INDEX
+        for reg, value in values.items():
+            row[index[reg]] = value
+
+    def load_masked(self, values: Dict[Register, int]) -> None:
+        row = self._row
+        index = _REG_INDEX
+        for reg, value in values.items():
+            row[index[reg]] = value & WORD_MASK
+
+    def reset(self) -> None:
+        row = self._row
+        for column in range(NUM_REGISTERS):
+            row[column] = 0
+        row[_CPSR_COLUMN] = _BOOT_CPSR
+
+    def __iter__(self) -> Iterator[Tuple[Register, int]]:
+        row = self._row
+        return iter([(reg, row[column]) for reg, column in _REG_INDEX.items()])
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LaneRegisterFile):
+            return self._row.tolist() == other._row.tolist()
+        if isinstance(other, RegisterFile):
+            return self.snapshot() == other.snapshot()
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        core = ", ".join(
+            f"{reg.value}=0x{self.read(reg):08x}"
+            for reg in (Register.PC, Register.SP, Register.LR, Register.CPSR)
+        )
+        return f"LaneRegisterFile(lane={self.lane_index}, {core})"
+
+
+class BatchedRegisterFile:
+    """``num_lanes`` register files packed into one ``array('Q')`` slab."""
+
+    def __init__(self, num_lanes: int) -> None:
+        if num_lanes <= 0:
+            raise ValueError(f"num_lanes must be positive, got {num_lanes}")
+        self.num_lanes = num_lanes
+        self._slab = array("Q", bytes(8 * num_lanes * NUM_REGISTERS))
+        view = memoryview(self._slab)
+        self._rows = [
+            view[lane * NUM_REGISTERS:(lane + 1) * NUM_REGISTERS]
+            for lane in range(num_lanes)
+        ]
+        for lane in range(num_lanes):
+            self._rows[lane][_CPSR_COLUMN] = _BOOT_CPSR
+
+    def lane(self, lane_index: int) -> LaneRegisterFile:
+        return LaneRegisterFile(self._rows[lane_index], lane_index)
+
+    # -- whole-lane operations (memoryview slice copies) ----------------------------
+
+    def capture_lane(self, lane_index: int,
+                     source: "RegisterFile | Dict[Register, int]") -> None:
+        """Copy a scalar register file (or snapshot dict) into one lane."""
+        values = source.snapshot() if isinstance(source, RegisterFile) else source
+        row = self._rows[lane_index]
+        for reg, value in values.items():
+            row[_REG_INDEX[reg]] = value & WORD_MASK
+
+    def restore_lane(self, lane_index: int, target: RegisterFile) -> None:
+        """Copy one lane's row back into a scalar register file."""
+        target.load_context(self.lane(lane_index).snapshot())
+
+    def broadcast(self, source: "RegisterFile | Dict[Register, int]") -> None:
+        """Fill every lane from one scalar state (batch fork point)."""
+        self.capture_lane(0, source)
+        first = self._rows[0]
+        for lane in range(1, self.num_lanes):
+            self._rows[lane][:] = first
+
+    def copy_lane(self, src: int, dst: int) -> None:
+        self._rows[dst][:] = self._rows[src]
+
+    def lane_words(self, lane_index: int) -> Tuple[int, ...]:
+        """The raw row of one lane, in :data:`REGISTER_ORDER`."""
+        return tuple(self._rows[lane_index])
+
+    def divergent_lanes(self, reference: int = 0) -> Tuple[int, ...]:
+        """Lanes whose architectural state differs from ``reference``.
+
+        The lockstep stepper's integrity guard: while no lane's injector has
+        fired, every lane shares the reference state bit for bit, so any
+        divergence here means a lane was mutated outside the eviction
+        protocol.
+        """
+        ref = self._rows[reference]
+        return tuple(
+            lane for lane in range(self.num_lanes)
+            if lane != reference and self._rows[lane] != ref
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BatchedRegisterFile):
+            return NotImplemented
+        return (self.num_lanes == other.num_lanes
+                and self._slab == other._slab)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"BatchedRegisterFile(lanes={self.num_lanes}, "
+                f"registers={NUM_REGISTERS})")
+
+
+# -- batched memory dispatch ---------------------------------------------------------
+
+#: One planned access: (position in the request sequence, address, size).
+_PlannedAccess = Tuple[int, int, int]
+
+
+def plan_page_groups(
+    accesses: Sequence[Tuple[int, int]],
+) -> Tuple[Dict[int, List[_PlannedAccess]], List[_PlannedAccess]]:
+    """Group ``(address, size)`` accesses by page for batched dispatch.
+
+    Returns ``(groups, fallback)``: ``groups`` maps a page index to the
+    accesses that lie entirely inside it with a 1/2/4-byte size (the shapes
+    the scalar fast path serves), ``fallback`` holds everything else
+    (cross-page spans, odd sizes) for per-access scalar dispatch. Positions
+    are preserved so the caller can reassemble results in request order.
+    """
+    groups: Dict[int, List[_PlannedAccess]] = {}
+    fallback: List[_PlannedAccess] = []
+    for position, (address, size) in enumerate(accesses):
+        offset = address & _PAGE_MASK
+        if size in (1, 2, 4) and offset + size <= PAGE_SIZE:
+            groups.setdefault(address >> PAGE_SHIFT, []).append(
+                (position, address, size))
+        else:
+            fallback.append((position, address, size))
+    return groups, fallback
+
+
+def batched_read(memory: PhysicalMemory,
+                 accesses: Sequence[Tuple[int, int]]) -> List[int]:
+    """Read many ``(address, size)`` pairs, resolving each page once.
+
+    Same-page groups resolve their ``(region, handler, flags)`` entry a
+    single time through the memory's page index and read straight from the
+    backing page; MMIO-backed and uncacheable pages, permission violations,
+    and the fallback shapes all route through the scalar ``memory.read`` per
+    access, so every error is raised exactly as a lane-at-a-time loop would
+    raise it. Results come back in request order.
+    """
+    results: List[Optional[int]] = [None] * len(accesses)
+    groups, fallback = plan_page_groups(accesses)
+    page_cache = memory._page_cache
+    pages = memory._pages
+    for page_index, group in groups.items():
+        entry = page_cache.get(page_index, False)
+        if entry is False:
+            entry = memory._resolve_page(page_index)
+        if entry is None or entry[1] is not None or not entry[2] & _READ_BIT:
+            # Uncacheable page, MMIO window, or unreadable region: the scalar
+            # path owns the semantics (handler dispatch / error raising).
+            for position, address, size in group:
+                results[position] = memory.read(address, size)
+            continue
+        page = pages.get(page_index)
+        if page is None:
+            for position, _address, _size in group:
+                results[position] = 0
+            continue
+        for position, address, size in group:
+            offset = address & _PAGE_MASK
+            results[position] = int.from_bytes(
+                page[offset:offset + size], "little")
+    for position, address, size in fallback:
+        results[position] = memory.read(address, size)
+    return results  # type: ignore[return-value]
+
+
+def pages_touched(accesses: Iterable[Tuple[int, int]]) -> int:
+    """How many distinct pages a batch of accesses resolves (for telemetry)."""
+    return len({address >> PAGE_SHIFT for address, _size in accesses})

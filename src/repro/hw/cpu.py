@@ -42,9 +42,16 @@ class CpuState(enum.Enum):
     FAILED = "failed"
 
 
-@dataclass
+@dataclass(frozen=True)
 class ParkRecord:
-    """Why and when a CPU was parked."""
+    """Why and when a CPU was parked.
+
+    Frozen: :meth:`CpuCore.snapshot_state` shallow-copies the park history,
+    so a mutable record would alias between a live core and its snapshots —
+    a post-snapshot mutation would silently rewrite history inside every
+    snapshot holding the record (and, through the prefix cache, inside every
+    experiment forked from it).
+    """
 
     timestamp: float
     reason: str

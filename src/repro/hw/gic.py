@@ -174,6 +174,18 @@ class Gic:
     def has_pending(self, cpu_id: int) -> bool:
         return bool(self._pending[cpu_id])
 
+    def pending_view(self) -> Dict[int, List[PendingInterrupt]]:
+        """The live per-CPU pending queues, keyed by CPU id — read-only.
+
+        This is the distributor's own mutable state, exposed for hot-path
+        callers (the SUT's step loop polls it every tick) that must not pay
+        for a copy; mutate it through :meth:`raise_irq`/:meth:`clear_pending`
+        only. The mapping object is replaced wholesale by
+        :meth:`restore_state`, so holders must re-fetch it after a restore
+        rather than cache it across one.
+        """
+        return self._pending
+
     def clear_pending(self, cpu_id: Optional[int] = None) -> None:
         """Drop pending interrupts (all CPUs if ``cpu_id`` is None)."""
         cpus = range(self.num_cpus) if cpu_id is None else [cpu_id]

@@ -187,6 +187,18 @@ _PAGE = """<!DOCTYPE html>
     <p class="bar-label" id="fault-note">no supervision events</p>
   </div>
 
+  <div class="card">
+    <h2>Batching</h2>
+    <table>
+      <thead><tr><th>batches</th><th>lanes</th><th>evictions</th>
+        <th>occupancy</th></tr></thead>
+      <tbody><tr id="batching">
+        <td>0</td><td>0</td><td>0</td><td>–</td>
+      </tr></tbody>
+    </table>
+    <p class="bar-label" id="batch-note">batched lockstep core inactive</p>
+  </div>
+
   <div class="card wide">
     <h2>Event stream (/events)</h2>
     <pre id="events"></pre>
@@ -306,6 +318,17 @@ function render(m) {
     ? "supervision intervened — see the event stream"
     : "no supervision events";
 
+  const batching = m.batching || {};
+  document.getElementById("batching").innerHTML =
+    `<td>${batching.batches || 0}</td><td>${batching.lanes || 0}</td>` +
+    `<td>${batching.lane_evictions || 0}</td>` +
+    `<td>${batching.batches ? fmt(batching.mean_occupancy) : "–"}</td>`;
+  document.getElementById("batch-note").textContent = batching.batches
+    ? `${pct(batching.lanes
+             ? 1 - (batching.lane_evictions || 0) / batching.lanes : 0)}`
+      + " of lanes completed in lockstep"
+    : "batched lockstep core inactive";
+
   const t = m.timing || {};
   const timed = t.timed_experiments || 0;
   if (timed) {
@@ -399,6 +422,18 @@ def render_text_dashboard(metrics: dict) -> str:
             f"retries {fault_tolerance.get('retries', 0)}  "
             f"timeouts {fault_tolerance.get('timeouts', 0)}  "
             f"quarantined {fault_tolerance.get('quarantined', 0)}"
+        )
+    batching = metrics.get("batching") or {}
+    if batching.get("batches"):
+        lanes = batching.get("lanes", 0)
+        evictions = batching.get("lane_evictions", 0)
+        lockstep = 1 - evictions / lanes if lanes else 0.0
+        lines += ["", "batching:"]
+        lines.append(
+            f"  batches {batching['batches']}  lanes {lanes}  "
+            f"evictions {evictions}  "
+            f"occupancy {batching.get('mean_occupancy', 0.0):.1f}  "
+            f"lockstep {lockstep:.1%}"
         )
     workers = metrics.get("workers") or []
     if workers:

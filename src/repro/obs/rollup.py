@@ -68,6 +68,12 @@ class TelemetryHub:
             "timeouts": 0,
             "quarantined": 0,
         }
+        #: Batched-lockstep counters, fed by batch_formed / lane_evicted.
+        self._batching: Dict[str, int] = {
+            "batches": 0,
+            "lanes": 0,
+            "lane_evictions": 0,
+        }
         self._events: Deque[dict] = deque(maxlen=_SSE_QUEUE_CAPACITY)
         self._subscribers: List["queue.Queue[dict]"] = []
 
@@ -114,10 +120,18 @@ class TelemetryHub:
     def on_event(self, event) -> None:
         """Telemetry-bus subscriber: retains and fans out the event tail."""
         payload = event.to_dict()
-        counter = self._FAULT_COUNTERS.get(payload.get("kind"))
+        kind = payload.get("kind")
+        counter = self._FAULT_COUNTERS.get(kind)
         with self._lock:
             if counter is not None:
                 self._fault_tolerance[counter] += 1
+            if kind == "batch_formed":
+                self._batching["batches"] += 1
+                lanes = payload.get("payload", {}).get("lanes")
+                if isinstance(lanes, int) and not isinstance(lanes, bool):
+                    self._batching["lanes"] += lanes
+            elif kind == "lane_evicted":
+                self._batching["lane_evictions"] += 1
             self._events.append(payload)
             subscribers = list(self._subscribers)
         for subscriber in subscribers:
@@ -182,6 +196,7 @@ class TelemetryHub:
             suffix_total = self._suffix_wall_total
             timed = self._timed_experiments
             fault_tolerance = dict(self._fault_tolerance)
+            batching = dict(self._batching)
         payload: dict = {
             "schema": METRICS_SCHEMA,
             "ts": time.time(),
@@ -207,6 +222,13 @@ class TelemetryHub:
                 "timed_experiments": timed,
             },
             "fault_tolerance": fault_tolerance,
+            "batching": {
+                **batching,
+                # Mean lanes per formed batch — the occupancy figure the
+                # watch dashboard displays (0.0 until a batch forms).
+                "mean_occupancy": (batching["lanes"] / batching["batches"]
+                                   if batching["batches"] else 0.0),
+            },
         }
         outcome_counts = (snapshot or {}).get("outcome_counts") or {}
         completed = (snapshot or {}).get("completed") or 0

@@ -1,0 +1,267 @@
+"""Tests for the structure-of-arrays batch hardware state.
+
+The lane register file must be indistinguishable from the scalar
+:class:`~repro.hw.registers.RegisterFile` under any operation sequence —
+the batched lockstep core hands lanes to code written against the scalar
+API — and batched memory dispatch must return exactly what a per-access
+``memory.read`` loop returns, including for MMIO and permission errors.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import InvalidRegisterError, MemoryAccessError
+from repro.hw.batch import (
+    NUM_REGISTERS,
+    REGISTER_ORDER,
+    BatchedRegisterFile,
+    LaneRegisterFile,
+    batched_read,
+    pages_touched,
+    plan_page_groups,
+)
+from repro.hw.memory import (
+    PAGE_SIZE,
+    MemoryFlags,
+    MemoryRegion,
+    MmioHandler,
+    PhysicalMemory,
+)
+from repro.hw.registers import Register, RegisterFile, make_cpsr
+
+
+class TestLaneRegisterFileParity:
+    """A lane must behave exactly like a scalar RegisterFile."""
+
+    def test_boot_state_matches_scalar(self):
+        batch = BatchedRegisterFile(3)
+        scalar = RegisterFile()
+        for lane_index in range(3):
+            assert batch.lane(lane_index).snapshot() == scalar.snapshot()
+
+    def test_randomized_operation_sequences_match_scalar(self):
+        rng = random.Random(20220806)
+        registers = list(Register)
+        for trial in range(20):
+            batch = BatchedRegisterFile(2)
+            lane = batch.lane(1)
+            scalar = RegisterFile()
+            for _ in range(200):
+                op = rng.randrange(5)
+                reg = rng.choice(registers)
+                if op == 0:
+                    value = rng.randrange(0, 1 << 40)  # exercise masking
+                    lane.write(reg, value)
+                    scalar.write(reg, value)
+                elif op == 1:
+                    assert lane.read(reg) == scalar.read(reg)
+                elif op == 2:
+                    bit = rng.randrange(32)
+                    assert lane.flip(reg, bit) == scalar.flip(reg, bit)
+                elif op == 3:
+                    values = {rng.choice(registers): rng.randrange(1 << 32)
+                              for _ in range(4)}
+                    lane.load_masked(values)
+                    scalar.load_masked(values)
+                else:
+                    assert lane.snapshot() == scalar.snapshot()
+            assert lane.snapshot() == scalar.snapshot()
+            assert dict(iter(lane)) == dict(iter(scalar))
+            assert lane == scalar
+
+    def test_write_rejects_non_int_values(self):
+        lane = BatchedRegisterFile(1).lane(0)
+        with pytest.raises(InvalidRegisterError):
+            lane.write(Register.R0, "0xff")
+
+    def test_write_rejects_unknown_register(self):
+        lane = BatchedRegisterFile(1).lane(0)
+        with pytest.raises(InvalidRegisterError):
+            lane.write("R99", 1)
+
+    def test_write_masks_to_32_bits(self):
+        lane = BatchedRegisterFile(1).lane(0)
+        lane.write(Register.R3, 0x1_2345_6789)
+        assert lane.read(Register.R3) == 0x2345_6789
+
+    def test_load_context_round_trips_through_scalar(self):
+        scalar = RegisterFile()
+        scalar.write(Register.PC, 0x8000_0040)
+        scalar.write(Register.SP, 0x4000_FF00)
+        lane = BatchedRegisterFile(1).lane(0)
+        lane.load_context(scalar.snapshot())
+        assert lane.snapshot() == scalar.snapshot()
+
+    def test_reset_restores_boot_state(self):
+        lane = BatchedRegisterFile(1).lane(0)
+        for reg in Register:
+            lane.write(reg, 0xDEAD_BEEF)
+        lane.reset()
+        assert lane.snapshot() == RegisterFile().snapshot()
+        assert lane.read(Register.CPSR) == make_cpsr(0b10011)
+
+
+class TestBatchedRegisterFile:
+    def test_rejects_non_positive_lane_count(self):
+        with pytest.raises(ValueError):
+            BatchedRegisterFile(0)
+
+    def test_lanes_are_isolated(self):
+        batch = BatchedRegisterFile(4)
+        batch.lane(2).write(Register.R5, 0x55)
+        for lane_index in (0, 1, 3):
+            assert batch.lane(lane_index).read(Register.R5) == 0
+
+    def test_register_order_covers_every_register_once(self):
+        assert NUM_REGISTERS == len(Register)
+        assert set(REGISTER_ORDER) == set(Register)
+
+    def test_broadcast_fills_every_lane(self):
+        source = RegisterFile()
+        source.write(Register.PC, 0x8000)
+        source.write(Register.R7, 0x77)
+        batch = BatchedRegisterFile(5)
+        batch.broadcast(source)
+        for lane_index in range(5):
+            assert batch.lane(lane_index).snapshot() == source.snapshot()
+        assert batch.divergent_lanes() == ()
+
+    def test_capture_and_restore_lane_round_trip(self):
+        source = RegisterFile()
+        source.write(Register.LR, 0x1234)
+        batch = BatchedRegisterFile(2)
+        batch.capture_lane(1, source)
+        target = RegisterFile()
+        batch.restore_lane(1, target)
+        assert target.snapshot() == source.snapshot()
+
+    def test_divergent_lanes_names_exactly_the_mutated_lanes(self):
+        batch = BatchedRegisterFile(6)
+        batch.broadcast(RegisterFile())
+        batch.lane(2).write(Register.R0, 1)
+        batch.lane(4).flip(Register.CPSR, 9)
+        assert batch.divergent_lanes() == (2, 4)
+
+    def test_copy_lane_realigns_a_divergent_lane(self):
+        batch = BatchedRegisterFile(3)
+        batch.lane(1).write(Register.R1, 0xAB)
+        batch.copy_lane(0, 1)
+        assert batch.divergent_lanes() == ()
+
+    def test_lane_words_follow_register_order(self):
+        batch = BatchedRegisterFile(1)
+        batch.lane(0).write(Register.R2, 0x42)
+        words = batch.lane_words(0)
+        assert words[REGISTER_ORDER.index(Register.R2)] == 0x42
+
+    def test_equality_compares_slabs(self):
+        a, b = BatchedRegisterFile(2), BatchedRegisterFile(2)
+        assert a == b
+        b.lane(0).write(Register.R0, 1)
+        assert a != b
+
+
+def _make_memory():
+    memory = PhysicalMemory([
+        MemoryRegion("dram", 0x0000_0000, 4 * PAGE_SIZE, MemoryFlags.RW),
+        MemoryRegion("rom", 0x0010_0000, PAGE_SIZE, MemoryFlags.READ),
+        MemoryRegion("device", 0x0020_0000, PAGE_SIZE,
+                     MemoryFlags.RW | MemoryFlags.IO),
+        MemoryRegion("writeonly", 0x0030_0000, PAGE_SIZE, MemoryFlags.WRITE),
+    ])
+    return memory
+
+
+class _CountingMmio(MmioHandler):
+    def __init__(self):
+        self.reads = []
+
+    def mmio_read(self, offset, size):
+        self.reads.append((offset, size))
+        return 0xA5A5_A5A5 & ((1 << (8 * size)) - 1)
+
+    def mmio_write(self, offset, value, size):  # pragma: no cover - unused
+        pass
+
+
+class TestPlanPageGroups:
+    def test_groups_same_page_accesses(self):
+        groups, fallback = plan_page_groups([
+            (0x100, 4), (0x104, 4), (PAGE_SIZE + 8, 2), (0x10, 1),
+        ])
+        assert fallback == []
+        assert sorted(groups) == [0, 1]
+        assert [a for _, a, _ in groups[0]] == [0x100, 0x104, 0x10]
+
+    def test_cross_page_and_odd_sizes_fall_back(self):
+        groups, fallback = plan_page_groups([
+            (PAGE_SIZE - 2, 4),   # spans a page boundary
+            (0x200, 8),           # not a fast-path size
+            (0x300, 4),
+        ])
+        assert len(groups[0]) == 1
+        assert [(a, s) for _, a, s in fallback] == [(PAGE_SIZE - 2, 4), (0x200, 8)]
+
+    def test_pages_touched_counts_distinct_pages(self):
+        assert pages_touched([(0x0, 4), (0x10, 4), (PAGE_SIZE, 4)]) == 2
+
+
+class TestBatchedRead:
+    def test_matches_scalar_reads_on_ram(self):
+        memory = _make_memory()
+        rng = random.Random(7)
+        for address in range(0, 4 * PAGE_SIZE, 16):
+            memory.write(address, rng.randrange(1 << 32), 4)
+        accesses = [(rng.randrange(0, 4 * PAGE_SIZE - 4), rng.choice((1, 2, 4)))
+                    for _ in range(300)]
+        expected = [memory.read(address, size) for address, size in accesses]
+        assert batched_read(memory, accesses) == expected
+
+    def test_untouched_ram_pages_read_zero(self):
+        memory = _make_memory()
+        assert batched_read(memory, [(3 * PAGE_SIZE + 4, 4)]) == [0]
+
+    def test_mmio_accesses_go_through_the_handler(self):
+        memory = _make_memory()
+        handler = _CountingMmio()
+        memory.attach_mmio("device", handler)
+        results = batched_read(memory, [(0x0020_0000, 4), (0x0020_0004, 2)])
+        assert results == [0xA5A5_A5A5, 0xA5A5]
+        assert handler.reads == [(0, 4), (4, 2)]
+
+    def test_permission_errors_surface_like_scalar(self):
+        memory = _make_memory()
+        with pytest.raises(MemoryAccessError):
+            batched_read(memory, [(0x0030_0000, 4)])
+
+    def test_unmapped_addresses_surface_like_scalar(self):
+        memory = _make_memory()
+        with pytest.raises(MemoryAccessError):
+            batched_read(memory, [(0x0F00_0000, 4)])
+
+    def test_mixed_batch_preserves_request_order(self):
+        memory = _make_memory()
+        handler = _CountingMmio()
+        memory.attach_mmio("device", handler)
+        memory.write(0x40, 0x1111_2222, 4)
+        accesses = [
+            (0x40, 4),                  # RAM fast path
+            (0x0020_0008, 1),           # MMIO
+            (PAGE_SIZE - 2, 4),         # cross-page fallback (still RAM)
+            (0x40, 2),                  # RAM again, same page as first
+        ]
+        expected = [memory.read(address, size) for address, size in accesses]
+        assert batched_read(memory, accesses) == expected
+
+    def test_lane_register_file_feeds_memory_addresses(self):
+        # End-to-end shape the stepper uses: lanes hold addresses, the batch
+        # dispatcher serves all lanes' loads in one call.
+        memory = _make_memory()
+        batch = BatchedRegisterFile(4)
+        for lane_index in range(4):
+            address = 0x80 + 0x10 * lane_index
+            memory.write(address, 0x1000 + lane_index, 4)
+            batch.lane(lane_index).write(Register.R0, address)
+        accesses = [(batch.lane(i).read(Register.R0), 4) for i in range(4)]
+        assert batched_read(memory, accesses) == [0x1000, 0x1001, 0x1002, 0x1003]

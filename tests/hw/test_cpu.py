@@ -116,3 +116,26 @@ def test_trap_entry_counter_accumulates():
         context = cpu.enter_trap("irq", 0)
         cpu.exit_trap(context)
     assert cpu.trap_entries == 5
+
+
+def test_park_records_are_frozen():
+    # snapshot_state() shallow-copies park_history, so records must be
+    # immutable or a later mutation would rewrite history inside snapshots.
+    cpu = CpuCore(0)
+    cpu.power_on()
+    cpu.park("unhandled trap", timestamp=1.5, error_code=0x24)
+    with pytest.raises(Exception):
+        cpu.park_history[0].reason = "rewritten"
+
+
+def test_snapshot_park_history_survives_later_parks():
+    cpu = CpuCore(0)
+    cpu.power_on()
+    cpu.park("first park", timestamp=1.0, error_code=0x24)
+    snapshot = cpu.snapshot_state()
+    cpu.state = CpuState.ONLINE
+    cpu.park("second park", timestamp=2.0)
+    assert len(snapshot["park_history"]) == 1
+    assert snapshot["park_history"][0].reason == "first park"
+    cpu.restore_state(snapshot)
+    assert [record.reason for record in cpu.park_history] == ["first park"]
