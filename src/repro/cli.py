@@ -25,7 +25,24 @@ reproduction without writing Python:
   the in-process variant);
 * ``repro-fi bench-history`` — the perf trajectory: every committed version
   of the ``BENCH_*.json`` reports rendered per metric, with cross-machine
-  entries flagged.
+  entries flagged;
+* ``repro-fi serve``        — the fleet coordinator: accepts campaign
+  submissions, shards their plans, and leases shards (TTL + heartbeats,
+  lost-host requeue, work stealing, host quarantine) to worker agents over
+  the versioned ``repro-fleet/v1`` JSON/HTTP protocol; results merge
+  idempotently by spec identity into atomic per-campaign record stores,
+  and ``--resume`` recovers a killed coordinator losslessly;
+* ``repro-fi fleet-worker`` — one worker agent: joins a coordinator, pulls
+  shard leases, runs them through the ordinary campaign engine (all the
+  engine flags compose), and submits the records back;
+* ``repro-fi submit``       — send a campaign config to a running
+  coordinator (``--wait`` polls until done, ``--output`` downloads the
+  merged records);
+* ``repro-fi fleet-status`` — one-shot fleet status (campaigns, shards,
+  hosts, leases) as text or JSON;
+* ``repro-fi merge``        — offline merge of record stores from several
+  hosts, deduplicated by spec identity; same-identity records with
+  different payloads are a hard error, never a silent pick.
 
 Campaign subcommands grow three observability flags: ``--telemetry PATH``
 streams structured ``repro-telemetry/v1`` events (per-experiment timing with
@@ -114,6 +131,8 @@ from repro.errors import (
     AnalysisError,
     CampaignConfigError,
     CampaignError,
+    FleetError,
+    FleetProtocolError,
     ObservabilityError,
     RegistryError,
 )
@@ -216,7 +235,9 @@ def _observability(plan, args):
     if telemetry is None:
         telemetry = Telemetry()
     telemetry.subscribe(hub.on_event)
-    server = WatchServer(hub, port=watch_port, title=plan.name).start()
+    server = WatchServer(
+        hub, host=getattr(args, "watch_host", None) or "127.0.0.1",
+        port=watch_port, title=plan.name).start()
     print(f"watch dashboard: {server.url}  "
           f"(metrics: {server.url}/metrics.json)", file=sys.stderr)
     return telemetry, hub, server
@@ -385,29 +406,42 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_run(args: argparse.Namespace) -> int:
-    """Run a declarative campaign from a config file or catalog entry."""
-    if Path(args.config).exists():
-        config = load_campaign_config(args.config)
+def _resolve_campaign_config(name_or_path: str, *,
+                             tests: Optional[int] = None,
+                             duration: Optional[float] = None,
+                             seed: Optional[int] = None):
+    """Load a campaign config from a file path or the catalog, with the
+    shared ``--tests/--duration/--seed`` overrides applied. Used by
+    ``run`` (local execution) and ``submit``/``serve`` (fleet execution),
+    so a campaign means the same thing on every path."""
+    if Path(name_or_path).exists():
+        config = load_campaign_config(name_or_path)
     else:
         try:
-            config = catalog_config(args.config)
+            config = catalog_config(name_or_path)
         except CampaignConfigError as exc:
             raise CampaignConfigError(
-                f"{args.config!r} is neither a config file nor a catalog "
+                f"{name_or_path!r} is neither a config file nor a catalog "
                 f"entry. {exc}"
             ) from None
-    if args.tests is not None:
+    if tests is not None:
         # For a random-sampling config the experiment count is sample_size,
         # not tests-per-grid-point; override whichever one sizes the run.
         if config.sampling == "random":
-            config.sample_size = args.tests
+            config.sample_size = tests
         else:
-            config.tests = args.tests
-    if args.duration is not None:
-        config.duration = args.duration
-    if args.seed is not None:
-        config.base_seed = args.seed
+            config.tests = tests
+    if duration is not None:
+        config.duration = duration
+    if seed is not None:
+        config.base_seed = seed
+    return config
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run a declarative campaign from a config file or catalog entry."""
+    config = _resolve_campaign_config(args.config, tests=args.tests,
+                                      duration=args.duration, seed=args.seed)
     plan = config.compile()
     if args.verbose:
         print(config.describe())
@@ -643,7 +677,8 @@ def cmd_watch(args: argparse.Namespace) -> int:
     aggregator = LiveAggregator(args.total)
     deadline = (time.monotonic() + args.timeout
                 if args.timeout is not None else float("inf"))
-    with WatchServer(hub, port=args.port,
+    with WatchServer(hub, host=getattr(args, "watch_host", None) or "127.0.0.1",
+                     port=args.port,
                      title=f"watch: {records_path.name}") as server:
         print(f"watch dashboard: {server.url}  "
               f"(metrics: {server.url}/metrics.json)", file=sys.stderr)
@@ -703,6 +738,223 @@ def cmd_seooc(args: argparse.Namespace) -> int:
     report = build_evidence_report(records_by_campaign)
     print(report.render())
     return 0 if report.certification_ready else 2
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the fleet coordinator until interrupted (or --until-done)."""
+    from repro.fleet.coordinator import FleetCoordinator, FleetServer
+
+    state_dir = Path(args.state_dir)
+    telemetry = Telemetry(args.telemetry) if args.telemetry else None
+    hub = watch_server = None
+    if args.watch is not None:
+        from repro.obs.rollup import TelemetryHub
+        from repro.obs.server import WatchServer
+
+        hub = TelemetryHub()
+        hub.set_campaign("fleet", total=0, source=str(state_dir))
+        if telemetry is None:
+            telemetry = Telemetry()
+        telemetry.subscribe(hub.on_event)
+    coordinator = FleetCoordinator(
+        state_dir,
+        lease_ttl_s=args.lease_ttl,
+        heartbeat_interval_s=args.heartbeat_interval,
+        steal_after_s=args.steal_after,
+        shard_size=args.shard_size,
+        host_failure_limit=args.host_failure_limit,
+        telemetry=telemetry,
+    )
+    if hub is not None:
+        # Feed each freshly merged record into the hub's aggregate view, so
+        # the fleet dashboard shows live outcome bars, not just merge counts.
+        from repro.engine.aggregate import LiveAggregator
+
+        aggregator = LiveAggregator(0)
+
+        def on_record(record: ExperimentRecord) -> None:
+            result = record.to_result()
+            hub.on_progress(aggregator.update(result), result)
+
+        coordinator.on_record = on_record
+    if args.resume:
+        recovered = coordinator.resume()
+        print(f"resumed {recovered} campaign(s) from "
+              f"{coordinator.state_path}", file=sys.stderr)
+    elif coordinator.state_path.exists():
+        raise FleetError(
+            f"{coordinator.state_path} already holds fleet state; pass "
+            f"--resume to recover it or point --state-dir somewhere fresh "
+            f"(refusing to silently overwrite journaled campaigns)")
+    for entry in args.config or []:
+        campaign_id = coordinator.submit(_resolve_campaign_config(entry))
+        print(f"campaign {campaign_id} queued", file=sys.stderr)
+    server = FleetServer(coordinator, host=args.host,
+                         port=args.port).start()
+    try:
+        if hub is not None:
+            watch_server = WatchServer(
+                hub, host=getattr(args, "watch_host", None) or "127.0.0.1",
+                port=args.watch, title="repro-fi fleet").start()
+            print(f"watch dashboard: {watch_server.url}  "
+                  f"(metrics: {watch_server.url}/metrics.json)",
+                  file=sys.stderr)
+        print(f"fleet coordinator: {server.url}  (state: {state_dir})",
+              file=sys.stderr)
+        print(f"workers join with: repro-fi fleet-worker {server.url}",
+              file=sys.stderr)
+        while True:
+            time.sleep(0.2)
+            if args.until_done and coordinator.all_done():
+                # Keep serving briefly so waiting submitters observe the
+                # done state and download their records before we go away.
+                print(f"all campaigns complete; lingering "
+                      f"{args.linger:g} s for waiting clients",
+                      file=sys.stderr)
+                time.sleep(args.linger)
+                break
+    except KeyboardInterrupt:
+        print("interrupted; flushing state", file=sys.stderr)
+    finally:
+        if watch_server is not None:
+            watch_server.stop()
+        server.stop()
+        if telemetry is not None:
+            telemetry.close()
+    status = coordinator.status()
+    for campaign in status["campaigns"]:
+        print(f"  {campaign['campaign_id']}: {campaign['merged']}/"
+              f"{campaign['total']} merged -> {campaign['records']}")
+    return 0
+
+
+def cmd_fleet_worker(args: argparse.Namespace) -> int:
+    """Run one worker agent against a coordinator URL."""
+    from repro.fleet.worker import FleetWorkerAgent
+
+    agent = FleetWorkerAgent(
+        args.url,
+        host=args.name,
+        jobs=args.jobs,
+        pooling=getattr(args, "pooling", False),
+        prefix_cache=args.prefix_cache,
+        batch=args.batch,
+        batch_size=args.batch_size,
+        chunk_size=_parse_chunk_size(getattr(args, "chunk_size", None)),
+        timeout_s=args.timeout,
+        retries=args.retries,
+        max_worker_restarts=args.max_worker_restarts,
+        sut=args.sut,
+        poll_s=args.poll,
+        offline_grace_s=args.offline_grace,
+        until_done=args.until_done,
+        max_shards=args.max_shards,
+        log=(lambda message: print(message, file=sys.stderr))
+        if args.verbose else None,
+    )
+    try:
+        stats = agent.run()
+    except KeyboardInterrupt:
+        agent.stop()
+        stats = dict(agent.stats)
+        print("interrupted", file=sys.stderr)
+    print(f"worker {agent.host}: {stats['shards']} shard(s), "
+          f"{stats['records']} record(s) submitted "
+          f"({stats['merged']} merged, {stats['duplicates']} duplicate)")
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a campaign to a running coordinator; optionally wait for it."""
+    from repro.fleet.protocol import FleetClient
+
+    config = _resolve_campaign_config(args.config, tests=args.tests,
+                                      duration=args.duration, seed=args.seed)
+    client = FleetClient(args.url)
+    response = client.submit_campaign(config=config.to_dict())
+    campaign_id = response["campaign_id"]
+    print(f"campaign {campaign_id} submitted to {args.url}")
+    if not args.wait:
+        return 0
+    last_merged = -1
+    while True:
+        status = client.status()
+        mine = [campaign for campaign in status["campaigns"]
+                if campaign["campaign_id"] == campaign_id]
+        if not mine:
+            raise FleetError(
+                f"coordinator no longer reports campaign {campaign_id!r} "
+                f"(restarted without --resume?)")
+        campaign = mine[0]
+        if campaign["merged"] != last_merged:
+            last_merged = campaign["merged"]
+            print(f"  {campaign['merged']}/{campaign['total']} merged",
+                  file=sys.stderr)
+        if campaign["done"]:
+            break
+        time.sleep(args.poll)
+    print(f"campaign {campaign_id} complete")
+    if args.output:
+        records = client.records(campaign_id)
+        count = RecordStore(args.output).replace_all(
+            ExperimentRecord.from_json(json.dumps(record, sort_keys=True))
+            for record in records)
+        print(f"saved {count} records to {args.output}")
+    return 0
+
+
+def cmd_fleet_status(args: argparse.Namespace) -> int:
+    """One-shot fleet status from a running coordinator."""
+    from repro.fleet.protocol import FleetClient
+
+    status = FleetClient(args.url).status()
+    if args.format == "json":
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    shards = status["shards"]
+    print(f"fleet at {args.url}: {status['state']}  "
+          f"(lease TTL {status['lease_ttl_s']:g}s, heartbeat "
+          f"{status['heartbeat_interval_s']:g}s, shard size "
+          f"{status['shard_size']})")
+    print(f"shards: {shards['pending']} pending, {shards['leased']} leased, "
+          f"{shards['done']} done")
+    print("campaigns:")
+    for campaign in status["campaigns"]:
+        state = "done" if campaign["done"] else "running"
+        print(f"  {campaign['campaign_id']}: {campaign['merged']}/"
+              f"{campaign['total']} merged  [{state}]")
+    if not status["campaigns"]:
+        print("  (none submitted)")
+    print("hosts:")
+    for host in status["hosts"]:
+        flags = " QUARANTINED" if host["quarantined"] else ""
+        print(f"  {host['host_id']} {host['host']} (pid {host['pid']}): "
+              f"{host['shards_done']} shard(s) done, "
+              f"{host['failures']} lease(s) lost{flags}")
+    if not status["hosts"]:
+        print("  (none joined)")
+    for lease in status["leases"]:
+        print(f"  lease {lease['lease_id']}: shard {lease['shard_id']} -> "
+              f"{lease['host']} ({lease['completed']} done)")
+    return 0
+
+
+def cmd_merge(args: argparse.Namespace) -> int:
+    """Merge record stores from several hosts, deduped by spec identity."""
+    from repro.fleet.merge import merge_stores
+
+    for path in args.inputs:
+        if not Path(path).exists():
+            print(f"error: record file does not exist: {path}",
+                  file=sys.stderr)
+            return 1
+    stats = merge_stores(args.inputs, args.output)
+    for path, count in stats.per_input:
+        print(f"  {path}: {count} record(s)", file=sys.stderr)
+    print(f"merged {stats.read} record(s) from {stats.inputs} file(s) into "
+          f"{args.output}: {stats.written} unique, "
+          f"{stats.duplicates} duplicate(s) collapsed")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -806,6 +1058,11 @@ def build_parser() -> argparse.ArgumentParser:
                                   "/dashboard.txt, /events (SSE); PORT "
                                   "defaults to an ephemeral one, printed "
                                   "on stderr")
+        command.add_argument("--watch-host", metavar="ADDR", default=None,
+                             help="bind address for the --watch dashboard "
+                                  "(default 127.0.0.1: loopback only; "
+                                  "binding 0.0.0.0 exposes the dashboard "
+                                  "to the network — it has no auth)")
         command.add_argument("--watch-linger", type=float, default=0.0,
                              metavar="SECONDS",
                              help="keep the --watch server up SECONDS "
@@ -918,6 +1175,10 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--port", type=int, default=0,
                        help="HTTP port (default: ephemeral, printed on "
                             "stderr)")
+    watch.add_argument("--watch-host", metavar="ADDR", default=None,
+                       help="bind address (default 127.0.0.1: loopback "
+                            "only; binding 0.0.0.0 exposes the dashboard "
+                            "to the network — it has no auth)")
     watch.add_argument("--total", type=int, default=0,
                        help="expected experiment count (for progress "
                             "display; watch exits once reached)")
@@ -951,6 +1212,181 @@ def build_parser() -> argparse.ArgumentParser:
                        help="one or more .jsonl record files (one per campaign)")
     seooc.set_defaults(func=cmd_seooc)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the fleet coordinator: accept campaign submissions, "
+             "lease plan shards to fleet-worker agents (repro-fleet/v1), "
+             "merge results idempotently, survive restarts via --resume")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1: loopback "
+                            "only; bind 0.0.0.0 to accept workers from "
+                            "other machines — the protocol has no auth, "
+                            "so only on trusted networks)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="HTTP port (default: ephemeral, printed on "
+                            "stderr)")
+    serve.add_argument("--state-dir", default="fleet-state", metavar="DIR",
+                       help="where campaign journal (state.json) and "
+                            "per-campaign record checkpoints live "
+                            "(default: fleet-state)")
+    serve.add_argument("--resume", action="store_true",
+                       help="recover journaled campaigns from --state-dir: "
+                            "finished specs stay merged, only unfinished "
+                            "work is re-offered")
+    serve.add_argument("--config", action="append", metavar="CONFIG",
+                       help="queue a campaign at startup (config path or "
+                            "catalog name; repeatable); more can be "
+                            "submitted later with 'repro-fi submit'")
+    serve.add_argument("--shard-size", type=int, default=8, metavar="N",
+                       help="max specs per lease shard (default 8); whole "
+                            "prefix families stay together so worker-side "
+                            "--prefix-cache/--batch keep working")
+    serve.add_argument("--lease-ttl", type=float, default=15.0,
+                       metavar="SECONDS",
+                       help="lease expires if not renewed by a heartbeat "
+                            "within SECONDS (default 15); expired shards "
+                            "requeue with exponential backoff")
+    serve.add_argument("--heartbeat-interval", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="heartbeat cadence workers are told to use "
+                            "(default 5 = TTL/3: a lease survives two "
+                            "dropped heartbeats, not three)")
+    serve.add_argument("--steal-after", type=float, default=None,
+                       metavar="SECONDS",
+                       help="an idle worker may steal a leased shard whose "
+                            "holder reported no progress for SECONDS "
+                            "(default: the lease TTL)")
+    serve.add_argument("--host-failure-limit", type=int, default=2,
+                       metavar="N",
+                       help="quarantine a host (by name — rejoining does "
+                            "not reset it) after it loses the same shard "
+                            "N times (default 2)")
+    serve.add_argument("--until-done", action="store_true",
+                       help="exit once every submitted campaign is "
+                            "complete (for CI and scripts; default: serve "
+                            "until interrupted)")
+    serve.add_argument("--linger", type=float, default=3.0,
+                       metavar="SECONDS",
+                       help="with --until-done: keep serving SECONDS after "
+                            "completion so 'submit --wait' clients can "
+                            "fetch their records (default 3)")
+    serve.add_argument("--telemetry", metavar="PATH",
+                       help="write fleet telemetry events (host_joined, "
+                            "lease_granted, lease_expired, host_lost, "
+                            "shard_stolen, result_merged) to PATH")
+    serve.add_argument("--watch", nargs="?", const=0, type=int,
+                       default=None, metavar="PORT",
+                       help="serve the live dashboard (with a fleet card) "
+                            "next to the coordinator")
+    serve.add_argument("--watch-host", metavar="ADDR", default=None,
+                       help="bind address for --watch (default 127.0.0.1)")
+    serve.set_defaults(func=cmd_serve)
+
+    fleet_worker = sub.add_parser(
+        "fleet-worker",
+        help="run one worker agent: join a coordinator, lease shards, run "
+             "them through the campaign engine, submit the records back")
+    fleet_worker.add_argument("url",
+                              help="coordinator URL, e.g. "
+                                   "http://127.0.0.1:8300")
+    fleet_worker.add_argument("--name", default=None,
+                              help="host label (default: hostname-pid); "
+                                   "quarantine keys on it")
+    fleet_worker.add_argument("--jobs", type=int, default=1,
+                              help="worker processes per shard "
+                                   "(0 = one per CPU)")
+    fleet_worker.add_argument("--pooling", action="store_true",
+                              help="reuse booted SUTs per engine worker "
+                                   "(same flag as the campaign "
+                                   "subcommands)")
+    fleet_worker.add_argument("--prefix-cache",
+                              action=argparse.BooleanOptionalAction,
+                              default=None,
+                              help="override the campaign config's "
+                                   "prefix-cache setting for this worker")
+    fleet_worker.add_argument("--batch",
+                              action=argparse.BooleanOptionalAction,
+                              default=None,
+                              help="override the campaign config's "
+                                   "lockstep-batching setting")
+    fleet_worker.add_argument("--batch-size", type=int, default=None,
+                              metavar="N")
+    fleet_worker.add_argument("--chunk-size", metavar="N|auto")
+    fleet_worker.add_argument("--timeout", type=float, default=None,
+                              metavar="SECONDS",
+                              help="per-experiment watchdog (same "
+                                   "semantics as the campaign "
+                                   "subcommands)")
+    fleet_worker.add_argument("--retries", type=int, default=None,
+                              metavar="N")
+    fleet_worker.add_argument("--max-worker-restarts", type=int,
+                              default=None, metavar="N")
+    fleet_worker.add_argument("--poll", type=float, default=1.0,
+                              metavar="SECONDS",
+                              help="how often to re-ask for work when "
+                                   "none is offerable (default 1)")
+    fleet_worker.add_argument("--offline-grace", type=float, default=60.0,
+                              metavar="SECONDS",
+                              help="keep retrying an unreachable "
+                                   "coordinator for SECONDS before giving "
+                                   "up (default 60) — covers coordinator "
+                                   "restarts")
+    fleet_worker.add_argument("--until-done", action="store_true",
+                              help="exit when the coordinator reports all "
+                                   "campaigns done (default: keep polling "
+                                   "for future campaigns)")
+    fleet_worker.add_argument("--max-shards", type=int, default=None,
+                              metavar="N",
+                              help="exit after completing N shards")
+    fleet_worker.add_argument("--verbose", action="store_true",
+                              help="log joins, leases, and submissions to "
+                                   "stderr")
+    add_sut_flag(fleet_worker)
+    fleet_worker.set_defaults(func=cmd_fleet_worker)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a campaign config to a running fleet coordinator")
+    submit.add_argument("url", help="coordinator URL")
+    submit.add_argument("config",
+                        help="path to a campaign config (.toml/.json) or a "
+                             "catalog name (see 'repro-fi list')")
+    submit.add_argument("--tests", type=int,
+                        help="override the config's test count")
+    submit.add_argument("--duration", type=float,
+                        help="override the config's per-test duration")
+    submit.add_argument("--seed", type=int,
+                        help="override the config's base seed")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the campaign completes")
+    submit.add_argument("--poll", type=float, default=1.0,
+                        metavar="SECONDS",
+                        help="status poll interval with --wait (default 1)")
+    submit.add_argument("--output", metavar="PATH",
+                        help="with --wait: download the merged records to "
+                             "PATH when the campaign completes")
+    submit.set_defaults(func=cmd_submit)
+
+    fleet_status = sub.add_parser(
+        "fleet-status",
+        help="one-shot status of a running fleet coordinator")
+    fleet_status.add_argument("url", help="coordinator URL")
+    fleet_status.add_argument("--format", choices=["text", "json"],
+                              default="text")
+    fleet_status.set_defaults(func=cmd_fleet_status)
+
+    merge = sub.add_parser(
+        "merge",
+        help="merge record stores from several hosts into one, "
+             "deduplicated by spec identity (same identity + different "
+             "payload is a hard error)")
+    merge.add_argument("inputs", nargs="+",
+                       help="two or more .jsonl record files (one works "
+                            "too: the merge is then a canonicalizing copy)")
+    merge.add_argument("-o", "--output", required=True, metavar="PATH",
+                       help="write the merged store to PATH (atomically)")
+    merge.set_defaults(func=cmd_merge)
+
     return parser
 
 
@@ -976,6 +1412,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ObservabilityError as exc:
         # Unbindable watch ports, missing benchmark reports, invalid
         # telemetry files: environment/data errors, not tracebacks.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FleetProtocolError as exc:
+        # Version mismatches and malformed fleet messages mean incompatible
+        # software on the two ends — a usage error, like a bad config.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FleetError as exc:
+        # Unreachable coordinators, merge conflicts, un-resumable state:
+        # operational errors, reported without a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

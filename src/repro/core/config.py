@@ -253,6 +253,63 @@ class CampaignConfig:
         config.validate()
         return config
 
+    def to_dict(self) -> dict:
+        """The config as the plain dict :meth:`from_dict` accepts.
+
+        This is the fleet wire format: a coordinator serializes a submitted
+        campaign with ``to_dict`` and every worker host rebuilds it with
+        ``from_dict`` + :meth:`compile` — compilation is deterministic, so
+        all hosts agree on every spec's
+        :meth:`~repro.core.experiment.ExperimentSpec.identity` without ever
+        shipping compiled plans. Round-trip is exact:
+        ``CampaignConfig.from_dict(config.to_dict())`` equals ``config``.
+        """
+        def part(ref: PartRef) -> dict:
+            entry: Dict[str, object] = {"kind": ref.kind}
+            if ref.params:
+                entry["params"] = dict(ref.params)
+            if ref.tag is not None:
+                entry["tag"] = ref.tag
+            return entry
+
+        campaign: Dict[str, object] = {
+            "name": self.name,
+            "tests": self.tests,
+            "base_seed": self.base_seed,
+            "duration": self.duration,
+            "settle_time": self.settle_time,
+            "warmup_time": self.warmup_time,
+            "observe_time": self.observe_time,
+            "scenario": list(self.scenarios),
+            "sut": part(self.sut),
+            "classifier": part(self.classifier),
+            "sampling": self.sampling,
+            "sample_seed": self.sample_seed,
+            "high_intensity_registers": self.high_intensity_registers,
+            "prefix_cache": self.prefix_cache,
+            "batch": self.batch,
+        }
+        if self.description:
+            campaign["description"] = self.description
+        if self.intensity is not None:
+            campaign["intensity"] = self.intensity
+        if self.sample_size is not None:
+            campaign["sample_size"] = self.sample_size
+        for key in ("batch_size", "chunk_size", "timeout_s", "retries",
+                    "max_worker_restarts"):
+            value = getattr(self, key)
+            if value is not None:
+                campaign[key] = value
+        data: Dict[str, object] = {
+            "campaign": campaign,
+            "target": [part(ref) for ref in self.targets],
+        }
+        if self.triggers:
+            data["trigger"] = [part(ref) for ref in self.triggers]
+        if self.fault_models:
+            data["fault_model"] = [part(ref) for ref in self.fault_models]
+        return data
+
     def validate(self) -> None:
         if self.tests <= 0:
             raise CampaignConfigError("[campaign] tests must be positive")

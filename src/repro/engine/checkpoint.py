@@ -214,6 +214,21 @@ class Checkpoint:
             index for index, spec in enumerate(plan) if self.is_complete(spec)
         }
 
+    def completed_identities(self) -> Set[str]:
+        """The ``spec_id`` stamps of every loaded record.
+
+        The fleet coordinator keys its shard planning on these: a resumed
+        ``repro serve`` loads its per-campaign checkpoint, subtracts the
+        stamped identities from the plan, and re-offers exactly the
+        unfinished specs. Records without a stamp (written by non-engine
+        code paths) are not identities and are skipped.
+        """
+        return set(self._records_by_id)
+
+    def record_by_identity(self, spec_id: str) -> Optional[ExperimentRecord]:
+        """The stored record stamped with ``spec_id``, if any."""
+        return self._records_by_id.get(spec_id)
+
     # -- writing ------------------------------------------------------------------------
 
     def commit(self, spec: ExperimentSpec,
@@ -238,6 +253,45 @@ class Checkpoint:
                 >= self.flush_interval_s):
             self.flush()
         return record
+
+    def commit_record(self, record: ExperimentRecord) -> ExperimentRecord:
+        """Buffer one already-built record (the fleet result-merge path).
+
+        The coordinator receives records over the wire with their
+        ``spec_id`` stamps already applied by the worker that executed them;
+        this commits one as-is, with the same interval-batched atomic flush
+        contract as :meth:`commit`. The caller is responsible for dedup —
+        committing two records with the same identity stores both.
+        """
+        self._remember(record)
+        self._dirty = True
+        if (self.flush_interval_s <= 0
+                or time.monotonic() - self._last_flush
+                >= self.flush_interval_s):
+            self.flush()
+        return record
+
+    def replace_records(self, records: List[ExperimentRecord]) -> None:
+        """Atomically rewrite the checkpoint as exactly ``records``.
+
+        Used by the coordinator to finalize a campaign's merged store in
+        plan order: the in-memory indexes are rebuilt and the file is
+        rewritten through the same :meth:`~repro.core.recording.RecordStore.
+        replace_all` temp-file + fsync + rename path every other flush uses.
+        """
+        self._records = list(records)
+        self._records_by_id = {
+            record.spec_id: record for record in self._records
+            if record.spec_id is not None
+        }
+        self._records_by_triple = {
+            (record.spec_name, record.seed, record.scenario): record
+            for record in self._records
+        }
+        self._last_flush = time.monotonic()
+        self.store.replace_all(self._records)
+        self._dirty = False
+        self.flushes += 1
 
     @property
     def dirty(self) -> bool:

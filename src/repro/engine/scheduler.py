@@ -14,6 +14,7 @@ workers ran it.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
@@ -204,6 +205,69 @@ def plan_family_batches(family: PrefixFamily, batch_size: int,
     if len(batches[-1]) == 1:
         scalar.append(batches.pop()[0])
     return batches, scalar
+
+
+@dataclass(frozen=True)
+class PlanShard:
+    """One fleet lease unit: a deterministic slice of a plan.
+
+    ``shard_id`` is a stable hash of the member spec identities, so the same
+    plan sharded the same way yields the same ids on every host — the
+    coordinator and a resumed coordinator agree on shard membership without
+    exchanging anything beyond the campaign config. ``spec_ids`` are the
+    members' :meth:`~repro.core.experiment.ExperimentSpec.identity` values in
+    plan order (the wire format names specs by identity, never by position,
+    so a worker compiling the config itself maps them back unambiguously).
+    """
+
+    shard_id: str
+    spec_ids: Tuple[str, ...]
+    spec_names: Tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.spec_ids)
+
+
+def plan_shards(plan: TestPlan, *, shard_size: int,
+                skip_identities: Set[str] = frozenset()) -> List[PlanShard]:
+    """Split a plan into deterministic fleet shards of whole prefix families.
+
+    The fleet's lease unit. Specs already completed (``skip_identities``,
+    e.g. the identity stamps in a resumed coordinator's checkpoint) are left
+    out, so a resume re-offers exactly the unfinished work. Shards are built
+    from whole prefix families (:func:`group_by_prefix`) merged up to
+    ``shard_size`` specs per shard, so a worker that owns a shard pays each
+    pre-injection prefix once and its ``--prefix-cache``/``--batch`` engine
+    runs at full effect. Fully determined by the plan and ``shard_size`` —
+    no randomness, no timing — so every host derives the same shards.
+    """
+    if shard_size <= 0:
+        raise CampaignError(f"shard size must be positive, got {shard_size}")
+    identities: Dict[int, str] = {}
+    items: List[WorkItem] = []
+    for index, spec in enumerate(plan):
+        identity = spec.identity()
+        if identity in skip_identities:
+            continue
+        identities[index] = identity
+        items.append(WorkItem(index=index, spec=spec))
+    families = group_by_prefix(items)
+    shards: List[PlanShard] = []
+    current: List[WorkItem] = []
+    def close(members: List[WorkItem]) -> None:
+        ids = tuple(identities[item.index] for item in members)
+        names = tuple(item.spec.name for item in members)
+        digest = hashlib.sha256("|".join(ids).encode("utf-8")).hexdigest()
+        shards.append(PlanShard(shard_id=digest[:16], spec_ids=ids,
+                                spec_names=names))
+    for family in families:
+        current.extend(family.items)
+        if len(current) >= shard_size:
+            close(current)
+            current = []
+    if current:
+        close(current)
+    return shards
 
 
 def normalize_chunk_size(value) -> "int | str | None":

@@ -132,6 +132,42 @@ class RecordSchemaError(AnalysisError):
     """
 
 
+class FleetError(ReproError):
+    """Raised by the multi-host fleet layer (coordinator, worker agent).
+
+    Covers protocol violations (wrong ``repro-fleet/v1`` schema, malformed
+    messages), coordinator state problems (unknown campaign or host,
+    un-resumable state directories), and worker-side failures to reach or
+    follow the coordinator. Kept distinct from :class:`CampaignError` so a
+    fleet transport problem is never mistaken for an invalid campaign.
+    """
+
+
+class FleetProtocolError(FleetError):
+    """A ``repro-fleet/v1`` message was malformed or version-mismatched."""
+
+
+class FleetUnavailableError(FleetError):
+    """The fleet coordinator could not be reached (transport failure).
+
+    Distinct from the rest of :class:`FleetError` because it is the one
+    failure workers retry through: a coordinator restart or network blip
+    heals, so agents back off and try again within their offline grace
+    window instead of treating it as fatal.
+    """
+
+
+class MergeConflictError(FleetError):
+    """Two record stores disagree about the same spec identity.
+
+    Raised by ``repro merge`` (and the coordinator's result merge) when two
+    records share an identity but differ in payload — deterministic
+    re-execution must produce byte-identical records, so a conflict means
+    the stores came from different campaign definitions or code versions
+    and silently picking one would corrupt the merged result.
+    """
+
+
 class SafetyAssessmentError(ReproError):
     """Raised by the ISO 26262 / SEooC assessment layer."""
 

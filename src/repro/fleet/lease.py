@@ -1,0 +1,379 @@
+"""Leases, shard states, and host bookkeeping for the fleet coordinator.
+
+The coordinator never *pushes* work: workers pull shard **leases**, each with
+a TTL renewed by heartbeats. Everything that makes the fleet robust is a rule
+of this table:
+
+* a lease not renewed within its TTL **expires**: the shard returns to the
+  queue with exponential backoff (so a shard that keeps killing its hosts
+  does not hot-loop), and the loss is charged to the host;
+* a host that loses the *same* shard repeatedly is **quarantined** — it can
+  keep heartbeating, but it is granted no further leases (the PR-7 intuition:
+  persistent offenders are set aside so the campaign completes without them);
+* an idle worker may **steal** a shard from a slow holder: when nothing is
+  pending, a lease past its steal age whose holder has reported no progress
+  is revoked and re-granted. The old holder learns via its next heartbeat
+  response; if both finish anyway, idempotent submission merges the
+  duplicates away.
+
+The table is deliberately free of I/O and wall-clock reads — the caller
+injects ``now`` everywhere — so every rule is unit-testable without sleeping.
+All mutation happens under the coordinator's lock.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.scheduler import PlanShard
+
+#: Base/odometer of the exponential requeue backoff (seconds).
+DEFAULT_BACKOFF_S = 1.0
+DEFAULT_BACKOFF_CAP_S = 30.0
+
+#: How many times one host may lose the same shard before quarantine.
+DEFAULT_HOST_FAILURE_LIMIT = 2
+
+#: Shard states.
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+
+
+@dataclass
+class Lease:
+    """One grant of one shard to one host, alive while heartbeats renew it."""
+
+    lease_id: str
+    shard_id: str
+    campaign_id: str
+    host_id: str
+    host: str
+    granted_ts: float
+    expires_ts: float
+    #: Experiments the holder reported complete in its last heartbeat; a
+    #: shard whose holder never reports progress is the steal candidate.
+    completed: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "lease_id": self.lease_id,
+            "shard_id": self.shard_id,
+            "campaign_id": self.campaign_id,
+            "host_id": self.host_id,
+            "host": self.host,
+            "granted_ts": self.granted_ts,
+            "expires_ts": self.expires_ts,
+            "completed": self.completed,
+        }
+
+
+@dataclass
+class ShardEntry:
+    """One lease unit: a shard plus its scheduling state."""
+
+    shard: PlanShard
+    campaign_id: str
+    state: str = PENDING
+    lease: Optional[Lease] = None
+    #: How many leases of this shard were lost (expiry or steal-abandon).
+    failures: int = 0
+    #: Earliest time the shard may be offered again (requeue backoff).
+    next_offer_ts: float = 0.0
+
+    @property
+    def shard_id(self) -> str:
+        return self.shard.shard_id
+
+    def to_dict(self) -> dict:
+        return {
+            "shard_id": self.shard_id,
+            "campaign_id": self.campaign_id,
+            "specs": len(self.shard),
+            "state": self.state,
+            "failures": self.failures,
+            "lease": self.lease.to_dict() if self.lease else None,
+        }
+
+
+@dataclass
+class HostInfo:
+    """One registered worker agent."""
+
+    host_id: str
+    host: str
+    pid: int
+    joined_ts: float
+    last_seen_ts: float
+    quarantined: bool = False
+    shards_done: int = 0
+    #: Lost-lease count per shard id — the quarantine trigger counts how
+    #: often this *host* failed one *shard*, so a bad shard (poisonous work)
+    #: is distinguishable from a bad host (flaky machine) downstream.
+    shard_failures: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "host_id": self.host_id,
+            "host": self.host,
+            "pid": self.pid,
+            "joined_ts": self.joined_ts,
+            "last_seen_ts": self.last_seen_ts,
+            "quarantined": self.quarantined,
+            "shards_done": self.shards_done,
+            "failures": sum(self.shard_failures.values()),
+        }
+
+
+class LeaseTable:
+    """Shard queue + lease lifecycle. All methods take an explicit ``now``."""
+
+    def __init__(self, *,
+                 lease_ttl_s: float,
+                 steal_after_s: Optional[float] = None,
+                 backoff_s: float = DEFAULT_BACKOFF_S,
+                 backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S,
+                 host_failure_limit: int = DEFAULT_HOST_FAILURE_LIMIT) -> None:
+        self.lease_ttl_s = lease_ttl_s
+        #: A leased shard older than this with zero reported progress is
+        #: stealable by an otherwise-idle host. Defaults to the TTL: a
+        #: healthy holder has heartbeated by then, so stealing only hits
+        #: holders that are alive-but-stuck.
+        self.steal_after_s = (steal_after_s if steal_after_s is not None
+                              else lease_ttl_s)
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self.host_failure_limit = host_failure_limit
+        self._shards: Dict[str, ShardEntry] = {}
+        self._order: List[str] = []
+        self._leases: Dict[str, Lease] = {}
+        #: lease_id → reason, reported (once) to the holder via heartbeat.
+        self._revoked: Dict[str, str] = {}
+        self._hosts: Dict[str, HostInfo] = {}
+        self._lease_counter = itertools.count(1)
+        self._host_counter = itertools.count(1)
+
+    # -- hosts --------------------------------------------------------------------------
+
+    def join(self, *, host: str, pid: int, now: float) -> HostInfo:
+        """Register a worker agent; repeatable (a rejoin gets a fresh id).
+
+        Quarantine keys on the host *name*, so a quarantined host cannot
+        launder itself by rejoining under a new id.
+        """
+        host_id = f"h{next(self._host_counter):04d}"
+        info = HostInfo(host_id=host_id, host=host, pid=pid,
+                        joined_ts=now, last_seen_ts=now,
+                        quarantined=self._name_quarantined(host))
+        self._hosts[host_id] = info
+        return info
+
+    def _name_quarantined(self, host: str) -> bool:
+        return any(entry.quarantined and entry.host == host
+                   for entry in self._hosts.values())
+
+    def host(self, host_id: str) -> Optional[HostInfo]:
+        return self._hosts.get(host_id)
+
+    def hosts(self) -> List[HostInfo]:
+        return [self._hosts[key] for key in sorted(self._hosts)]
+
+    def touch(self, host_id: str, now: float) -> Optional[HostInfo]:
+        info = self._hosts.get(host_id)
+        if info is not None:
+            info.last_seen_ts = now
+        return info
+
+    # -- shards -------------------------------------------------------------------------
+
+    def add_shards(self, campaign_id: str,
+                   shards: List[PlanShard]) -> None:
+        for shard in shards:
+            entry = ShardEntry(shard=shard, campaign_id=campaign_id)
+            self._shards[shard.shard_id] = entry
+            self._order.append(shard.shard_id)
+
+    def shard(self, shard_id: str) -> Optional[ShardEntry]:
+        return self._shards.get(shard_id)
+
+    def shards(self) -> List[ShardEntry]:
+        return [self._shards[key] for key in self._order]
+
+    def campaign_done(self, campaign_id: str) -> bool:
+        return all(entry.state == DONE
+                   for entry in self._shards.values()
+                   if entry.campaign_id == campaign_id)
+
+    def all_done(self) -> bool:
+        # An empty table is *idle*, not done: workers routinely join before
+        # the first campaign is submitted, and a vacuous "done" would send
+        # every --until-done agent home while the fleet is still forming.
+        return bool(self._shards) and all(
+            entry.state == DONE for entry in self._shards.values())
+
+    # -- granting -----------------------------------------------------------------------
+
+    def grant(self, host_id: str, now: float
+              ) -> Tuple[Optional[Lease], Optional[str], str]:
+        """Try to lease a shard to ``host_id``.
+
+        Returns ``(lease, stolen_from_host, state)``: a fresh lease (with
+        the host it was stolen from, if it was), or ``(None, None, state)``
+        where ``state`` is ``done`` (nothing left anywhere) or ``wait``
+        (work exists but none is offerable to this host right now).
+        """
+        info = self._hosts.get(host_id)
+        if info is None or info.quarantined:
+            return None, None, "done" if self.all_done() else "wait"
+        # First choice: a pending shard whose backoff has elapsed, in
+        # submission order — deterministic given the same request sequence.
+        for shard_id in self._order:
+            entry = self._shards[shard_id]
+            if entry.state == PENDING and entry.next_offer_ts <= now:
+                return self._grant_entry(entry, info, now), None, "leased"
+        if self.all_done():
+            return None, None, "done"
+        # Nothing pending: steal from a slow holder. A candidate lease is
+        # past the steal age, has reported zero progress, and belongs to a
+        # different host (stealing your own shard is a no-op).
+        for shard_id in self._order:
+            entry = self._shards[shard_id]
+            lease = entry.lease
+            if (entry.state == LEASED and lease is not None
+                    and lease.host_id != host_id
+                    and lease.completed == 0
+                    and now - lease.granted_ts >= self.steal_after_s):
+                stolen_from = lease.host
+                self._revoke(lease, reason="stolen")
+                return self._grant_entry(entry, info, now), stolen_from, "leased"
+        return None, None, "wait"
+
+    def _grant_entry(self, entry: ShardEntry, info: HostInfo,
+                     now: float) -> Lease:
+        lease = Lease(
+            lease_id=f"l{next(self._lease_counter):06d}",
+            shard_id=entry.shard_id,
+            campaign_id=entry.campaign_id,
+            host_id=info.host_id,
+            host=info.host,
+            granted_ts=now,
+            expires_ts=now + self.lease_ttl_s,
+        )
+        entry.state = LEASED
+        entry.lease = lease
+        self._leases[lease.lease_id] = lease
+        return lease
+
+    def _revoke(self, lease: Lease, *, reason: str) -> None:
+        self._leases.pop(lease.lease_id, None)
+        self._revoked[lease.lease_id] = reason
+
+    # -- heartbeats ---------------------------------------------------------------------
+
+    def renew(self, host_id: str, leases: Dict[str, dict],
+              now: float) -> List[str]:
+        """Renew the named leases; returns the ids no longer honored.
+
+        Progress (``completed``) reported alongside each lease id feeds the
+        steal rule: a holder that reports progress is slow-but-working and
+        keeps its shard.
+        """
+        revoked: List[str] = []
+        for lease_id, progress in leases.items():
+            lease = self._leases.get(lease_id)
+            if lease is None or lease.host_id != host_id:
+                # Expired, stolen, or plain unknown: report it (once).
+                self._revoked.pop(lease_id, None)
+                revoked.append(lease_id)
+                continue
+            lease.expires_ts = now + self.lease_ttl_s
+            completed = progress.get("completed", 0) if isinstance(
+                progress, dict) else 0
+            if isinstance(completed, int) and not isinstance(completed, bool):
+                lease.completed = max(lease.completed, completed)
+        return revoked
+
+    # -- expiry sweep -------------------------------------------------------------------
+
+    def expire(self, now: float) -> List[Lease]:
+        """Requeue every shard whose lease TTL has lapsed.
+
+        The shard returns to ``pending`` with exponential backoff
+        (``backoff_s * 2^(failures-1)``, capped), the loss is charged to the
+        holding host, and hosts that hit the per-shard failure limit are
+        quarantined. Returns the expired leases for event emission.
+        """
+        expired: List[Lease] = []
+        for entry in self._shards.values():
+            lease = entry.lease
+            if entry.state != LEASED or lease is None:
+                continue
+            if lease.expires_ts > now:
+                continue
+            expired.append(lease)
+            self._revoke(lease, reason="expired")
+            entry.lease = None
+            entry.state = PENDING
+            entry.failures += 1
+            delay = min(self.backoff_cap_s,
+                        self.backoff_s * (2 ** (entry.failures - 1)))
+            entry.next_offer_ts = now + delay
+            self._charge_failure(lease, entry)
+        return expired
+
+    def _charge_failure(self, lease: Lease, entry: ShardEntry) -> None:
+        info = self._hosts.get(lease.host_id)
+        if info is None:
+            return
+        count = info.shard_failures.get(entry.shard_id, 0) + 1
+        info.shard_failures[entry.shard_id] = count
+        if count >= self.host_failure_limit and not info.quarantined:
+            # Quarantine every registration of the name, present and future.
+            for other in self._hosts.values():
+                if other.host == info.host:
+                    other.quarantined = True
+
+    def quarantined_hosts(self) -> List[HostInfo]:
+        return [info for info in self.hosts() if info.quarantined]
+
+    # -- completion ---------------------------------------------------------------------
+
+    def complete(self, shard_id: str, *,
+                 host_id: Optional[str] = None) -> Optional[Lease]:
+        """Mark a shard done; returns the lease that was holding it, if any.
+
+        Succeeds regardless of who submitted — results are results, even
+        from a lease that expired mid-flight (the records are deduplicated
+        upstream). A successful completion clears the submitting host's
+        failure history for the shard: the shard was not poisonous after
+        all, just slow.
+        """
+        entry = self._shards.get(shard_id)
+        if entry is None:
+            return None
+        lease = entry.lease
+        entry.state = DONE
+        entry.lease = None
+        entry.next_offer_ts = 0.0
+        if lease is not None:
+            self._leases.pop(lease.lease_id, None)
+            self._revoked.pop(lease.lease_id, None)
+        if host_id is not None:
+            info = self._hosts.get(host_id)
+            if info is not None:
+                info.shards_done += 1
+                info.shard_failures.pop(shard_id, None)
+        return lease
+
+    def lease_for(self, lease_id: str) -> Optional[Lease]:
+        return self._leases.get(lease_id)
+
+    # -- views --------------------------------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        counts = {PENDING: 0, LEASED: 0, DONE: 0}
+        for entry in self._shards.values():
+            counts[entry.state] += 1
+        return counts

@@ -199,6 +199,18 @@ _PAGE = """<!DOCTYPE html>
     <p class="bar-label" id="batch-note">batched lockstep core inactive</p>
   </div>
 
+  <div class="card">
+    <h2>Fleet</h2>
+    <table>
+      <thead><tr><th>hosts</th><th>lost</th><th>leases</th><th>expired</th>
+        <th>stolen</th><th>merged</th><th>dupes</th></tr></thead>
+      <tbody><tr id="fleet">
+        <td>0</td><td>0</td><td>0</td><td>0</td><td>0</td><td>0</td><td>0</td>
+      </tr></tbody>
+    </table>
+    <p class="bar-label" id="fleet-note">fleet coordinator inactive</p>
+  </div>
+
   <div class="card wide">
     <h2>Event stream (/events)</h2>
     <pre id="events"></pre>
@@ -329,6 +341,17 @@ function render(m) {
       + " of lanes completed in lockstep"
     : "batched lockstep core inactive";
 
+  const fleet = m.fleet || {};
+  document.getElementById("fleet").innerHTML =
+    ["hosts_joined", "hosts_lost", "leases_granted", "leases_expired",
+     "shards_stolen", "records_merged", "duplicates"]
+      .map(key => `<td>${fleet[key] || 0}</td>`).join("");
+  const fleetCampaigns = fleet.campaigns || [];
+  document.getElementById("fleet-note").textContent = fleet.active
+    ? (fleetCampaigns.map(c => `${c.campaign}: ${c.merged}/${c.total}`)
+         .join(" · ") || "fleet active — no results merged yet")
+    : "fleet coordinator inactive";
+
   const t = m.timing || {};
   const timed = t.timed_experiments || 0;
   if (timed) {
@@ -435,6 +458,25 @@ def render_text_dashboard(metrics: dict) -> str:
             f"occupancy {batching.get('mean_occupancy', 0.0):.1f}  "
             f"lockstep {lockstep:.1%}"
         )
+    fleet = metrics.get("fleet") or {}
+    if fleet.get("active"):
+        lines += ["", "fleet:"]
+        lines.append(
+            f"  hosts {fleet.get('hosts_joined', 0)} joined / "
+            f"{fleet.get('hosts_lost', 0)} lost  "
+            f"leases {fleet.get('leases_granted', 0)} granted / "
+            f"{fleet.get('leases_expired', 0)} expired / "
+            f"{fleet.get('shards_stolen', 0)} stolen"
+        )
+        lines.append(
+            f"  records {fleet.get('records_merged', 0)} merged  "
+            f"duplicates {fleet.get('duplicates', 0)}"
+        )
+        for campaign in fleet.get("campaigns") or []:
+            lines.append(
+                f"  {campaign['campaign']}: "
+                f"{campaign['merged']}/{campaign['total']} merged"
+            )
     workers = metrics.get("workers") or []
     if workers:
         lines += ["", "workers:"]

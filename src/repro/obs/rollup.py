@@ -74,6 +74,18 @@ class TelemetryHub:
             "lanes": 0,
             "lane_evictions": 0,
         }
+        #: Fleet counters, fed by the coordinator's repro-fleet events.
+        self._fleet: Dict[str, int] = {
+            "hosts_joined": 0,
+            "hosts_lost": 0,
+            "leases_granted": 0,
+            "leases_expired": 0,
+            "shards_stolen": 0,
+            "records_merged": 0,
+            "duplicates": 0,
+        }
+        #: campaign id → {merged, total}, from result_merged payloads.
+        self._fleet_campaigns: Dict[str, Dict[str, int]] = {}
         self._events: Deque[dict] = deque(maxlen=_SSE_QUEUE_CAPACITY)
         self._subscribers: List["queue.Queue[dict]"] = []
 
@@ -117,6 +129,35 @@ class TelemetryHub:
         "spec_quarantined": "quarantined",
     }
 
+    #: fleet kind → fleet counter it increments.
+    _FLEET_COUNTERS = {
+        "host_joined": "hosts_joined",
+        "host_lost": "hosts_lost",
+        "lease_granted": "leases_granted",
+        "lease_expired": "leases_expired",
+        "shard_stolen": "shards_stolen",
+    }
+
+    def _on_fleet_event(self, kind: str, payload: dict) -> None:
+        """Fold one coordinator event into the fleet rollup (lock held)."""
+        counter = self._FLEET_COUNTERS.get(kind)
+        if counter is not None:
+            self._fleet[counter] += 1
+        if kind != "result_merged":
+            return
+        def count(key):
+            value = payload.get(key)
+            return (value if isinstance(value, int)
+                    and not isinstance(value, bool) else 0)
+        self._fleet["records_merged"] += count("merged")
+        self._fleet["duplicates"] += count("duplicates")
+        campaign = payload.get("campaign")
+        if isinstance(campaign, str):
+            self._fleet_campaigns[campaign] = {
+                "merged": count("campaign_merged"),
+                "total": count("campaign_total"),
+            }
+
     def on_event(self, event) -> None:
         """Telemetry-bus subscriber: retains and fans out the event tail."""
         payload = event.to_dict()
@@ -125,6 +166,7 @@ class TelemetryHub:
         with self._lock:
             if counter is not None:
                 self._fault_tolerance[counter] += 1
+            self._on_fleet_event(kind, payload.get("payload") or {})
             if kind == "batch_formed":
                 self._batching["batches"] += 1
                 lanes = payload.get("payload", {}).get("lanes")
@@ -197,6 +239,9 @@ class TelemetryHub:
             timed = self._timed_experiments
             fault_tolerance = dict(self._fault_tolerance)
             batching = dict(self._batching)
+            fleet = dict(self._fleet)
+            fleet_campaigns = {campaign: dict(progress) for campaign, progress
+                               in self._fleet_campaigns.items()}
         payload: dict = {
             "schema": METRICS_SCHEMA,
             "ts": time.time(),
@@ -228,6 +273,14 @@ class TelemetryHub:
                 # watch dashboard displays (0.0 until a batch forms).
                 "mean_occupancy": (batching["lanes"] / batching["batches"]
                                    if batching["batches"] else 0.0),
+            },
+            "fleet": {
+                **fleet,
+                "active": bool(fleet["hosts_joined"] or fleet_campaigns),
+                "campaigns": [
+                    {"campaign": campaign, **progress}
+                    for campaign, progress in sorted(fleet_campaigns.items())
+                ],
             },
         }
         outcome_counts = (snapshot or {}).get("outcome_counts") or {}

@@ -69,6 +69,15 @@ ENGINE_EVENT_KINDS = frozenset({
     # Watch tailer: the records file shrank under the reader (rotation or
     # truncation) and tailing restarted from offset 0.
     "file_rotated",
+    # Fleet coordinator (repro-fi serve): worker registration, lease
+    # lifecycle (grants, TTL expiries, steals), host loss/quarantine, and
+    # idempotent result merges.
+    "host_joined",
+    "lease_granted",
+    "lease_expired",
+    "host_lost",
+    "shard_stolen",
+    "result_merged",
 })
 
 #: Payload fields validation requires per engine event kind.
@@ -89,6 +98,12 @@ REQUIRED_PAYLOAD_FIELDS: Dict[str, frozenset] = {
     "experiment_timeout": frozenset({"spec", "index", "timeout_s"}),
     "spec_quarantined": frozenset({"spec", "attempts", "reason"}),
     "file_rotated": frozenset({"path"}),
+    "host_joined": frozenset({"host", "host_id"}),
+    "lease_granted": frozenset({"host", "shard", "campaign", "specs"}),
+    "lease_expired": frozenset({"host", "shard", "failures"}),
+    "host_lost": frozenset({"host"}),
+    "shard_stolen": frozenset({"shard", "from_host", "to_host"}),
+    "result_merged": frozenset({"campaign", "merged", "duplicates"}),
 }
 
 

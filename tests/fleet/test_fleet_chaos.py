@@ -1,0 +1,208 @@
+"""Fleet chaos: SIGKILL real worker and coordinator processes mid-campaign.
+
+The fleet's whole reason to exist is surviving exactly this violence:
+
+* a worker killed while holding a lease — its TTL lapses, the shard
+  requeues, the survivors finish, and the merged store is byte-identical to
+  a single-host run (killing a machine costs time, never records);
+* the coordinator killed mid-merge — ``serve --resume`` reloads the
+  journaled campaigns and atomic checkpoints, re-offers only the unfinished
+  shards, and the still-running workers retry through the outage, rejoin,
+  and finish with exactly one record per spec.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.core.recording import RecordStore
+
+CONFIG_TOML = """\
+[campaign]
+name = "fleet-chaos"
+tests = 16
+base_seed = 0
+duration = 60.0
+intensity = "medium"
+scenario = "steady-state"
+
+[[target]]
+kind = "nonroot-trap"
+"""
+
+TESTS = 16
+
+
+def fleet_env():
+    env = dict(os.environ)
+    repo_src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def free_port():
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def spawn(args, env):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *args], env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+
+def fetch_status(port):
+    url = f"http://127.0.0.1:{port}/fleet/status"
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def poll_status(port, predicate, deadline_s, what):
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        try:
+            status = fetch_status(port)
+        except OSError:
+            time.sleep(0.05)
+            continue
+        if predicate(status):
+            return status
+        time.sleep(0.02)
+    pytest.fail(f"fleet never reached: {what}")
+
+
+def reap(processes):
+    for process in processes:
+        if process.poll() is None:
+            process.kill()
+        process.wait()
+
+
+@pytest.fixture(scope="module")
+def campaign(tmp_path_factory):
+    """The config file plus the single-host ground-truth checkpoint."""
+    root = tmp_path_factory.mktemp("chaos")
+    config = root / "campaign.toml"
+    config.write_text(CONFIG_TOML)
+    serial = root / "serial.jsonl"
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "run", str(config),
+         "--resume", str(serial)],
+        env=fleet_env(), capture_output=True, text=True, timeout=300)
+    assert completed.returncode == 0, completed.stderr
+    return config, serial
+
+
+def serve_args(config, state_dir, port, resume=False):
+    args = ["serve", "--host", "127.0.0.1", "--port", str(port),
+            "--state-dir", str(state_dir), "--shard-size", "2",
+            "--lease-ttl", "2", "--heartbeat-interval", "0.5",
+            "--until-done", "--linger", "0.5"]
+    if resume:
+        args.append("--resume")
+    else:
+        args.extend(["--config", str(config)])
+    return args
+
+
+def worker_args(port, name):
+    return ["fleet-worker", f"http://127.0.0.1:{port}", "--name", name,
+            "--until-done", "--poll", "0.2", "--offline-grace", "60"]
+
+
+def assert_matches_serial(records_path, serial):
+    assert records_path.read_bytes() == serial.read_bytes()
+    records = list(RecordStore(records_path).iter_records())
+    assert len(records) == TESTS
+    identities = [record.spec_id for record in records]
+    assert len(set(identities)) == TESTS        # exactly one per spec
+
+
+class TestWorkerDeath:
+    def test_sigkilled_worker_forfeits_nothing(self, tmp_path, campaign):
+        config, serial = campaign
+        port = free_port()
+        state_dir = tmp_path / "state"
+        env = fleet_env()
+        coordinator = spawn(serve_args(config, state_dir, port), env)
+        workers = {}
+        try:
+            poll_status(port, lambda s: True, 30, "coordinator up")
+            for name in ("w-victim", "w-a", "w-b"):
+                workers[name] = spawn(worker_args(port, name), env)
+
+            # Kill the victim the moment it holds a lease (mid-shard).
+            poll_status(
+                port,
+                lambda s: any(lease["host"] == "w-victim"
+                              for lease in s["leases"]),
+                60, "a lease granted to the victim worker")
+            workers["w-victim"].kill()
+            workers["w-victim"].wait()
+
+            assert coordinator.wait(timeout=180) == 0
+            for name in ("w-a", "w-b"):
+                assert workers[name].wait(timeout=60) == 0
+        finally:
+            reap([coordinator, *workers.values()])
+
+        records_path = state_dir / "c001-fleet-chaos.records.jsonl"
+        assert_matches_serial(records_path, serial)
+
+
+class TestCoordinatorDeath:
+    def test_sigkilled_coordinator_resumes_without_duplicates(
+            self, tmp_path, campaign):
+        config, serial = campaign
+        port = free_port()
+        state_dir = tmp_path / "state"
+        env = fleet_env()
+        first = spawn(serve_args(config, state_dir, port), env)
+        workers = {}
+        second = None
+        try:
+            poll_status(port, lambda s: True, 30, "coordinator up")
+            for name in ("w-a", "w-b"):
+                workers[name] = spawn(worker_args(port, name), env)
+
+            # Let real merges land, then kill the coordinator cold.
+            status = poll_status(
+                port,
+                lambda s: (s["campaigns"]
+                           and 2 <= s["campaigns"][0]["merged"] < TESTS),
+                120, "a partial merge before the kill")
+            merged_before = status["campaigns"][0]["merged"]
+            first.send_signal(signal.SIGKILL)
+            first.wait()
+
+            # The journaled state survived the kill, atomically.
+            state = json.loads((state_dir / "state.json").read_text())
+            assert state["schema"] == "repro-fleet-state/v1"
+            assert state["campaigns"][0]["campaign_id"] == "c001-fleet-chaos"
+
+            # Same port, --resume: workers retry through the outage and
+            # rejoin; only unfinished shards are re-offered.
+            second = spawn(serve_args(config, state_dir, port, resume=True),
+                           env)
+            status = poll_status(port, lambda s: bool(s["campaigns"]),
+                                 60, "resumed coordinator up")
+            assert status["campaigns"][0]["merged"] >= merged_before
+
+            assert second.wait(timeout=180) == 0
+            for name in ("w-a", "w-b"):
+                assert workers[name].wait(timeout=60) == 0
+        finally:
+            reap([process for process in
+                  (first, second, *workers.values()) if process is not None])
+
+        records_path = state_dir / "c001-fleet-chaos.records.jsonl"
+        assert_matches_serial(records_path, serial)

@@ -1,0 +1,231 @@
+"""Lease-table rules: grants, TTL expiry, backoff, stealing, quarantine.
+
+The table is pure (clock injected, no I/O), so every fleet-robustness rule
+is exercised here without sleeping: a lease that is not renewed expires and
+its shard requeues with exponential backoff; a host that repeatedly loses
+the same shard is quarantined by *name* (rejoining under a fresh id does
+not launder it); an idle host steals a zero-progress lease past the steal
+age, but never a working holder's and never its own.
+"""
+
+import pytest
+
+from repro.engine.scheduler import PlanShard
+from repro.fleet.lease import DONE, LEASED, PENDING, LeaseTable
+
+
+def shard(shard_id, *spec_ids):
+    return PlanShard(shard_id=shard_id, spec_ids=tuple(spec_ids),
+                     spec_names=tuple(f"spec-{s}" for s in spec_ids))
+
+
+def make_table(**overrides):
+    options = {"lease_ttl_s": 10.0, "backoff_s": 1.0,
+               "host_failure_limit": 2}
+    options.update(overrides)
+    return LeaseTable(**options)
+
+
+def joined(table, name="alpha", now=0.0):
+    return table.join(host=name, pid=100, now=now)
+
+
+class TestGrant:
+    def test_pending_shards_grant_in_submission_order(self):
+        table = make_table()
+        table.add_shards("c1", [shard("s1", "a"), shard("s2", "b")])
+        h1 = joined(table, "alpha")
+        h2 = joined(table, "beta")
+        lease1, stolen1, state1 = table.grant(h1.host_id, now=0.0)
+        lease2, stolen2, state2 = table.grant(h2.host_id, now=0.0)
+        assert (state1, state2) == ("leased", "leased")
+        assert (stolen1, stolen2) == (None, None)
+        assert lease1.shard_id == "s1" and lease2.shard_id == "s2"
+        assert table.shard("s1").state == LEASED
+
+    def test_everything_leased_means_wait_not_done(self):
+        table = make_table()
+        table.add_shards("c1", [shard("s1", "a")])
+        h1 = joined(table, "alpha")
+        h2 = joined(table, "beta")
+        table.grant(h1.host_id, now=0.0)
+        lease, _, state = table.grant(h2.host_id, now=0.0)
+        assert lease is None and state == "wait"
+
+    def test_all_done_reports_done(self):
+        table = make_table()
+        table.add_shards("c1", [shard("s1", "a")])
+        h1 = joined(table)
+        table.grant(h1.host_id, now=0.0)
+        table.complete("s1", host_id=h1.host_id)
+        lease, _, state = table.grant(h1.host_id, now=1.0)
+        assert lease is None and state == "done"
+        assert table.all_done() and table.campaign_done("c1")
+
+    def test_empty_table_means_wait_not_done(self):
+        # Workers routinely join before the first campaign is submitted: an
+        # empty table is idle, and a vacuous "done" would send --until-done
+        # agents home while the fleet is still forming.
+        table = make_table()
+        h1 = joined(table)
+        lease, _, state = table.grant(h1.host_id, now=0.0)
+        assert lease is None and state == "wait"
+        assert not table.all_done()
+
+    def test_unknown_host_gets_nothing(self):
+        table = make_table()
+        table.add_shards("c1", [shard("s1", "a")])
+        lease, _, state = table.grant("h9999", now=0.0)
+        assert lease is None and state == "wait"
+
+
+class TestExpiry:
+    def test_unrenewed_lease_expires_and_requeues(self):
+        table = make_table(lease_ttl_s=10.0)
+        table.add_shards("c1", [shard("s1", "a")])
+        h1 = joined(table)
+        lease, _, _ = table.grant(h1.host_id, now=0.0)
+        assert table.expire(now=9.9) == []
+        expired = table.expire(now=10.0)
+        assert [item.lease_id for item in expired] == [lease.lease_id]
+        entry = table.shard("s1")
+        assert entry.state == PENDING and entry.failures == 1
+
+    def test_renewal_postpones_expiry(self):
+        table = make_table(lease_ttl_s=10.0)
+        table.add_shards("c1", [shard("s1", "a")])
+        h1 = joined(table)
+        lease, _, _ = table.grant(h1.host_id, now=0.0)
+        table.renew(h1.host_id, {lease.lease_id: {"completed": 0}}, now=9.0)
+        assert table.expire(now=10.0) == []
+        assert table.expire(now=19.0) != []
+
+    def test_backoff_doubles_per_failure_and_caps(self):
+        table = make_table(lease_ttl_s=1.0, backoff_s=2.0, backoff_cap_s=5.0,
+                           host_failure_limit=99)
+        table.add_shards("c1", [shard("s1", "a")])
+        h1 = joined(table)
+        table.grant(h1.host_id, now=0.0)
+        table.expire(now=1.0)
+        assert table.shard("s1").next_offer_ts == pytest.approx(3.0)  # 1 + 2
+        # Not offerable during backoff; offerable once it elapses.
+        lease, _, state = table.grant(h1.host_id, now=2.0)
+        assert lease is None and state == "wait"
+        lease, _, _ = table.grant(h1.host_id, now=3.0)
+        assert lease is not None
+        table.expire(now=4.0)
+        assert table.shard("s1").next_offer_ts == pytest.approx(8.0)  # 4 + 4
+        lease, _, _ = table.grant(h1.host_id, now=8.0)
+        assert lease is not None
+        table.expire(now=9.0)
+        assert table.shard("s1").next_offer_ts == pytest.approx(14.0)  # capped
+
+    def test_expired_lease_is_reported_revoked_once(self):
+        table = make_table(lease_ttl_s=1.0)
+        table.add_shards("c1", [shard("s1", "a")])
+        h1 = joined(table)
+        lease, _, _ = table.grant(h1.host_id, now=0.0)
+        table.expire(now=1.0)
+        revoked = table.renew(h1.host_id,
+                              {lease.lease_id: {"completed": 0}}, now=2.0)
+        assert revoked == [lease.lease_id]
+
+
+class TestSteal:
+    def make_stuck(self, steal_after_s=10.0):
+        table = make_table(lease_ttl_s=100.0, steal_after_s=steal_after_s)
+        table.add_shards("c1", [shard("s1", "a")])
+        holder = joined(table, "holder")
+        thief = joined(table, "thief")
+        lease, _, _ = table.grant(holder.host_id, now=0.0)
+        return table, holder, thief, lease
+
+    def test_idle_host_steals_stuck_zero_progress_lease(self):
+        table, holder, thief, lease = self.make_stuck()
+        stolen, stolen_from, state = table.grant(thief.host_id, now=10.0)
+        assert state == "leased" and stolen.shard_id == "s1"
+        assert stolen_from == "holder"
+        # The old holder learns via its next heartbeat.
+        assert table.renew(holder.host_id,
+                           {lease.lease_id: {"completed": 1}},
+                           now=10.0) == [lease.lease_id]
+
+    def test_working_holder_keeps_its_shard(self):
+        table, holder, thief, lease = self.make_stuck()
+        table.renew(holder.host_id, {lease.lease_id: {"completed": 1}},
+                    now=5.0)
+        stolen, _, state = table.grant(thief.host_id, now=20.0)
+        assert stolen is None and state == "wait"
+
+    def test_no_steal_before_steal_age(self):
+        table, holder, thief, lease = self.make_stuck(steal_after_s=10.0)
+        stolen, _, state = table.grant(thief.host_id, now=9.0)
+        assert stolen is None and state == "wait"
+
+    def test_host_never_steals_its_own_lease(self):
+        table, holder, thief, lease = self.make_stuck()
+        stolen, _, state = table.grant(holder.host_id, now=50.0)
+        assert stolen is None and state == "wait"
+
+
+class TestQuarantine:
+    def lose_shard(self, table, host, times, start=0.0):
+        now = start
+        for _ in range(times):
+            lease, _, state = table.grant(host.host_id, now=now)
+            assert state == "leased"
+            now = lease.expires_ts
+            table.expire(now=now)
+            # Skip past the requeue backoff for the next grant.
+            now = max(now, table.shard(lease.shard_id).next_offer_ts)
+        return now
+
+    def test_repeated_loss_of_same_shard_quarantines_the_host(self):
+        table = make_table(lease_ttl_s=1.0, host_failure_limit=2)
+        table.add_shards("c1", [shard("s1", "a")])
+        flaky = joined(table, "flaky")
+        self.lose_shard(table, flaky, times=2)
+        assert flaky.quarantined
+        assert [info.host for info in table.quarantined_hosts()] == ["flaky"]
+        lease, _, state = table.grant(flaky.host_id, now=100.0)
+        assert lease is None and state == "wait"
+
+    def test_quarantine_keys_on_host_name_across_rejoins(self):
+        table = make_table(lease_ttl_s=1.0, host_failure_limit=2)
+        table.add_shards("c1", [shard("s1", "a")])
+        flaky = joined(table, "flaky")
+        self.lose_shard(table, flaky, times=2)
+        reborn = table.join(host="flaky", pid=200, now=50.0)
+        assert reborn.quarantined
+        innocent = table.join(host="innocent", pid=300, now=50.0)
+        assert not innocent.quarantined
+        lease, _, state = table.grant(innocent.host_id, now=100.0)
+        assert lease is not None and state == "leased"
+
+    def test_one_loss_then_completion_clears_the_failure_history(self):
+        table = make_table(lease_ttl_s=1.0, host_failure_limit=2)
+        table.add_shards("c1", [shard("s1", "a")])
+        slow = joined(table, "slow")
+        now = self.lose_shard(table, slow, times=1)
+        table.grant(slow.host_id, now=now)
+        table.complete("s1", host_id=slow.host_id)
+        assert slow.shard_failures == {}
+        assert not slow.quarantined
+
+
+class TestComplete:
+    def test_complete_marks_done_and_returns_the_holding_lease(self):
+        table = make_table()
+        table.add_shards("c1", [shard("s1", "a", "b")])
+        h1 = joined(table)
+        lease, _, _ = table.grant(h1.host_id, now=0.0)
+        returned = table.complete("s1", host_id=h1.host_id)
+        assert returned is lease
+        assert table.shard("s1").state == DONE
+        assert table.lease_for(lease.lease_id) is None
+        assert h1.shards_done == 1
+        assert table.counts() == {PENDING: 0, LEASED: 0, DONE: 1}
+
+    def test_completing_an_unknown_shard_is_a_noop(self):
+        table = make_table()
+        assert table.complete("nope") is None

@@ -123,6 +123,46 @@ class TestValidation:
             validate_events_file(path)
 
 
+class TestFleetKinds:
+    """The coordinator's fleet events validate like the engine's own."""
+
+    PAYLOADS = {
+        "host_joined": {"host": "w1", "host_id": "h0001"},
+        "lease_granted": {"host": "w1", "shard": "ab12", "campaign": "c001",
+                          "specs": 2},
+        "lease_expired": {"host": "w1", "shard": "ab12", "campaign": "c001",
+                          "failures": 1},
+        "host_lost": {"host": "w1", "host_id": "h0001"},
+        "shard_stolen": {"shard": "ab12", "from_host": "w1", "to_host": "w2"},
+        "result_merged": {"campaign": "c001", "shard": "ab12", "host": "h1",
+                          "merged": 2, "duplicates": 0,
+                          "campaign_merged": 2, "campaign_total": 6},
+    }
+
+    def test_every_fleet_kind_validates_with_its_payload(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with Telemetry(path) as bus:
+            for kind, payload in self.PAYLOADS.items():
+                bus.emit(kind, **payload)
+        assert validate_events_file(path) == len(self.PAYLOADS)
+
+    @pytest.mark.parametrize("kind,field", [
+        ("host_joined", "host_id"),
+        ("lease_granted", "specs"),
+        ("lease_expired", "failures"),
+        ("host_lost", "host"),
+        ("shard_stolen", "to_host"),
+        ("result_merged", "duplicates"),
+    ])
+    def test_missing_required_fields_are_rejected(self, kind, field):
+        payload = dict(self.PAYLOADS[kind])
+        del payload[field]
+        event = {"schema": TELEMETRY_SCHEMA, "seq": 0, "ts": 1.0,
+                 "kind": kind, "payload": payload}
+        with pytest.raises(ObservabilityError, match=field):
+            validate_event_dict(event)
+
+
 class TestEngineEmission:
     @pytest.fixture(scope="class")
     def run(self, tmp_path_factory):
