@@ -31,6 +31,12 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+#: Schema of the ``repro analyze --format json`` export.
+ANALYZE_SCHEMA = "repro-analyze/v1"
+
+#: Schema of the ``repro compare --format json`` export.
+COMPARE_SCHEMA = "repro-compare/v1"
+
 from repro.analysis.stats import proportion_confidence_interval
 from repro.core.analysis import (
     DistributionSummary,
@@ -253,7 +259,7 @@ class StreamAnalysis:
 
     def to_dict(self) -> dict:
         payload = {
-            "schema": "repro-analyze/v1",
+            "schema": ANALYZE_SCHEMA,
             **self.analyzer.to_dict(),
         }
         if self.source is not None:
@@ -317,7 +323,7 @@ def compare_to_dict(analyses: "Mapping[str, StreamingAnalyzer]", *,
     baseline_name = names[0]
     baseline = analyses[baseline_name].distribution()
     payload: dict = {
-        "schema": "repro-compare/v1",
+        "schema": COMPARE_SCHEMA,
         "baseline": baseline_name,
         "campaigns": {name: analyzer.to_dict()
                       for name, analyzer in analyses.items()},

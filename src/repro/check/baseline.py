@@ -1,0 +1,75 @@
+"""The committed findings baseline (``repro-fi check --write-baseline``).
+
+The baseline is the escape hatch for *known* debt: findings listed here
+still render, but do not gate. Entries carry rule, file, and message — no
+line numbers — so the file only churns when a finding appears or is fixed,
+never when code moves around it. Regenerate with::
+
+    repro-fi check --write-baseline
+
+which snapshots exactly the currently-active findings (suppressed ones
+stay out: an inline ``allow`` is already a better, local excuse).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Set
+
+from repro.check.findings import Finding
+from repro.errors import CheckError
+
+#: Schema tag of the baseline file.
+BASELINE_SCHEMA = "repro-check-baseline/v1"
+
+#: Where the baseline lives relative to the project root.
+DEFAULT_BASELINE_NAME = "check_baseline.json"
+
+
+def _fingerprint(rule: str, file: str, message: str) -> str:
+    return f"{rule}::{file}::{message}"
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """Return the set of baselined fingerprints (empty if ``path`` absent)."""
+    path = Path(path)
+    if not path.exists():
+        return set()
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckError(f"unreadable baseline {path}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("schema") != BASELINE_SCHEMA:
+        raise CheckError(
+            f"{path} is not a {BASELINE_SCHEMA} baseline "
+            f"(schema={data.get('schema')!r})"
+            if isinstance(data, dict) else
+            f"{path} is not a {BASELINE_SCHEMA} baseline")
+    fingerprints = set()
+    for entry in data.get("findings", ()):
+        if not isinstance(entry, dict):
+            raise CheckError(f"{path}: malformed baseline entry {entry!r}")
+        try:
+            fingerprints.add(_fingerprint(
+                entry["rule"], entry["file"], entry["message"]))
+        except KeyError as exc:
+            raise CheckError(
+                f"{path}: baseline entry missing {exc}: {entry!r}") from exc
+    return fingerprints
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Write ``findings`` as the new baseline; returns how many it holds."""
+    entries = sorted(
+        {(f.rule, f.file, f.message) for f in findings})
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "findings": [
+            {"rule": rule, "file": file, "message": message}
+            for rule, file, message in entries
+        ],
+    }
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return len(entries)

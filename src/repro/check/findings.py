@@ -1,0 +1,64 @@
+"""The :class:`Finding` record every rule emits.
+
+A finding is identified across runs by its *fingerprint* — rule, file, and
+message, deliberately **not** the line number, so unrelated edits above a
+baselined finding do not resurrect it. The message must therefore be stable
+for a given defect (rules name the symbol, not the position, in prose).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: Allowed ``Finding.severity`` values, most severe first.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one site.
+
+    ``suppressed``/``baselined`` are stamped by the runner after the rule
+    emits; rules themselves only fill the first five fields.
+    """
+
+    rule: str
+    file: str
+    line: int
+    message: str
+    severity: str = "error"
+    suppressed: bool = False
+    suppression_reason: str = ""
+    baselined: bool = False
+
+    @property
+    def active(self) -> bool:
+        """True when the finding gates the check (not excused anywhere)."""
+        return not (self.suppressed or self.baselined)
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-independent identity used by the baseline."""
+        return f"{self.rule}::{self.file}::{self.message}"
+
+    def with_suppression(self, reason: str) -> "Finding":
+        return replace(self, suppressed=True, suppression_reason=reason)
+
+    def with_baseline(self) -> "Finding":
+        return replace(self, baselined=True)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "file": self.file,
+            "line": self.line,
+            "severity": self.severity,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "suppression_reason": self.suppression_reason,
+            "baselined": self.baselined,
+            "active": self.active,
+        }
+
+    def sort_key(self):
+        return (self.file, self.line, self.rule, self.message)

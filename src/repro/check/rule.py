@@ -1,0 +1,26 @@
+"""The rule interface: a name, a description, and a project-wide pass.
+
+Rules take the whole :class:`~repro.check.source.Project` rather than one
+file at a time because half of them are cross-file by nature —
+``schema-literal`` counts definition sites across modules and
+``registry-resolve`` joins registrations in ``src/`` against part keys in
+``examples/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.check.findings import Finding
+    from repro.check.source import Project
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A named contract check run over the whole project."""
+
+    name: str
+    description: str
+    run: Callable[["Project"], Iterable["Finding"]]

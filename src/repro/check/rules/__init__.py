@@ -1,0 +1,29 @@
+"""The contract rules, keyed by name.
+
+Adding a rule is one module exporting a ``RULE`` plus a line here — the
+runner, the CLI ``--rule`` filter, and the suppression validator all read
+:data:`ALL_RULES`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.check.rule import Rule
+from repro.check.rules import (determinism, lock_discipline,
+                               registry_resolve, schema_literal,
+                               snapshot_complete, telemetry_guard)
+
+ALL_RULES: Dict[str, Rule] = {
+    rule.name: rule
+    for rule in (
+        determinism.RULE,
+        snapshot_complete.RULE,
+        telemetry_guard.RULE,
+        lock_discipline.RULE,
+        schema_literal.RULE,
+        registry_resolve.RULE,
+    )
+}
+
+__all__ = ["ALL_RULES"]

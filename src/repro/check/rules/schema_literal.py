@@ -1,0 +1,111 @@
+"""Rule ``schema-literal``: one wire format, one defining constant.
+
+Every versioned wire-format tag (``repro-telemetry/v1``,
+``repro-fleet/v1``, ...) must be spelled out exactly once, as a
+module-level ``UPPER_CASE = "repro-.../vN"`` constant, and referenced by
+name everywhere else. Duplicated literals are how schema bumps go wrong:
+one site gets the ``v2`` edit, the validator three files over keeps
+accepting ``v1``. Docstrings and help text may mention schemas freely —
+only standalone string literals in code count.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.check.findings import Finding
+from repro.check.rule import Rule
+from repro.check.source import Project, SourceFile
+
+#: A whole-string wire-format tag.
+SCHEMA_RE = re.compile(r"^repro-[a-z0-9-]+/v\d+$")
+
+_UPPER_RE = re.compile(r"^[A-Z][A-Z0-9_]*$")
+
+
+def _docstring_nodes(tree: ast.AST) -> Set[int]:
+    """ids of Constant nodes that are doc/first-statement strings."""
+    nodes: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Module, ast.ClassDef,
+                             ast.FunctionDef, ast.AsyncFunctionDef)):
+            body = node.body
+            if (body and isinstance(body[0], ast.Expr)
+                    and isinstance(body[0].value, ast.Constant)
+                    and isinstance(body[0].value.value, str)):
+                nodes.add(id(body[0].value))
+    return nodes
+
+
+def _module_definitions(
+        source: SourceFile) -> Iterator[Tuple[str, str, int, ast.AST]]:
+    """(literal, constant name, line, value node) per defining assignment."""
+    for stmt in source.tree.body:
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            continue
+        target = stmt.targets[0]
+        if not (isinstance(target, ast.Name) and _UPPER_RE.match(target.id)):
+            continue
+        value = stmt.value
+        if (isinstance(value, ast.Constant) and isinstance(value.value, str)
+                and SCHEMA_RE.match(value.value)):
+            yield value.value, target.id, stmt.lineno, value
+
+
+def run(project: Project) -> Iterator[Finding]:
+    # literal -> [(file, constant name, line)]
+    definitions: Dict[str, List[Tuple[str, str, int]]] = {}
+    # literal -> [(file, line)] for every non-defining occurrence
+    occurrences: Dict[str, List[Tuple[str, int]]] = {}
+
+    for source in project.sources:
+        defined_nodes: Set[int] = set()
+        for literal, name, line, node in _module_definitions(source):
+            definitions.setdefault(literal, []).append(
+                (source.rel, name, line))
+            defined_nodes.add(id(node))
+        docstrings = _docstring_nodes(source.tree)
+        for node in ast.walk(source.tree):
+            if not (isinstance(node, ast.Constant)
+                    and isinstance(node.value, str)
+                    and SCHEMA_RE.match(node.value)):
+                continue
+            if id(node) in defined_nodes or id(node) in docstrings:
+                continue
+            occurrences.setdefault(node.value, []).append(
+                (source.rel, node.lineno))
+
+    for literal in sorted(set(definitions) | set(occurrences)):
+        defs = sorted(definitions.get(literal, []))
+        sites = sorted(occurrences.get(literal, []))
+        if not defs:
+            for file, line in sites:
+                yield Finding(
+                    "schema-literal", file, line,
+                    f"wire-format string '{literal}' has no module-level "
+                    "defining constant; hoist it to an UPPER_CASE = "
+                    "assignment and reference that")
+            continue
+        if len(defs) > 1:
+            where = ", ".join(f"{file}:{name}" for file, name, _line in defs)
+            for file, name, line in defs:
+                yield Finding(
+                    "schema-literal", file, line,
+                    f"wire-format string '{literal}' is defined more than "
+                    f"once ({where}); keep a single constant and import it")
+        def_file, def_name, _def_line = defs[0]
+        for file, line in sites:
+            yield Finding(
+                "schema-literal", file, line,
+                f"inline duplicate of '{literal}'; reference "
+                f"{def_name} from {def_file} instead")
+
+
+RULE = Rule(
+    name="schema-literal",
+    description=("each repro-*/vN wire-format string has exactly one "
+                 "module-level defining constant"),
+    run=run,
+)

@@ -1,0 +1,100 @@
+"""Rule ``telemetry-guard``: emitting must stay free when telemetry is off.
+
+The PR-6 contract: a campaign run without ``--telemetry`` must not pay for
+event construction. ``Telemetry.emit`` returns early when inactive, but the
+*payload kwargs are evaluated at the call site* — so every ``.emit(`` site
+outside ``obs/`` must be dominated by a check of its bus: an enclosing
+``if telemetry:`` / ``if bus.active:``-style conditional, or an earlier
+``if <bus> is None: return`` early-out in the same function. Sites whose
+guard lives in a caller (cross-function domination is invisible to a
+per-function analysis) carry an inline suppression naming that caller.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.check import astutil
+from repro.check.findings import Finding
+from repro.check.rule import Rule
+from repro.check.source import Project, SourceFile
+
+#: The bus lives here; its own internals are exempt.
+EXEMPT = ("repro/obs/", "repro/check/")
+
+
+def _enclosing_function(node: ast.AST) -> Optional[ast.AST]:
+    for ancestor in astutil.ancestors(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return ancestor
+    return None
+
+
+def _guarded_by_ancestor_if(call: ast.Call, receiver: str) -> bool:
+    """An enclosing if/while whose test mentions the bus expression."""
+    for ancestor in astutil.ancestors(call):
+        if isinstance(ancestor, (ast.If, ast.While, ast.IfExp)):
+            if astutil.mentions(ancestor.test, receiver):
+                return True
+        elif isinstance(ancestor, ast.Assert):
+            if astutil.mentions(ancestor.test, receiver):
+                return True
+    return False
+
+
+def _guarded_by_early_out(call: ast.Call, receiver: str) -> bool:
+    """An earlier ``if <bus>...: return/raise/continue`` in the function."""
+    function = _enclosing_function(call)
+    if function is None:
+        return False
+    for node in ast.walk(function):
+        if not isinstance(node, ast.If):
+            continue
+        if node.lineno >= call.lineno:
+            continue
+        if not astutil.mentions(node.test, receiver):
+            continue
+        if any(isinstance(stmt, (ast.Return, ast.Raise, ast.Continue))
+               for stmt in node.body):
+            return True
+    return False
+
+
+def _iter_findings(source: SourceFile) -> Iterator[Finding]:
+    astutil.attach_parents(source.tree)
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "emit"):
+            continue
+        receiver = astutil.dotted_name(func.value)
+        if receiver is None:
+            yield Finding(
+                "telemetry-guard", source.rel, node.lineno,
+                "emit() on a computed expression cannot be proven guarded; "
+                "bind the bus to a name and check it first")
+            continue
+        if (_guarded_by_ancestor_if(node, receiver)
+                or _guarded_by_early_out(node, receiver)):
+            continue
+        yield Finding(
+            "telemetry-guard", source.rel, node.lineno,
+            f"{receiver}.emit(...) is not dominated by a bus-active check; "
+            f"wrap it in 'if {receiver}:' (payload kwargs are evaluated "
+            "even when the bus is off)")
+
+
+def run(project: Project) -> Iterator[Finding]:
+    for source in project.sources:
+        if any(source.rel.startswith(prefix) for prefix in EXEMPT):
+            continue
+        yield from _iter_findings(source)
+
+
+RULE = Rule(
+    name="telemetry-guard",
+    description="every .emit( outside obs/ is dominated by a bus-active check",
+    run=run,
+)

@@ -1,0 +1,165 @@
+"""Run the rules, apply suppressions and the baseline, render the result."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.check.findings import Finding
+from repro.check.rules import ALL_RULES
+from repro.check.source import Project
+from repro.errors import CheckError
+
+#: Schema of the ``--format json`` report.
+CHECK_SCHEMA = "repro-check/v1"
+
+#: The framework's own rule: malformed checker comments. Not suppressible
+#: (a broken excuse must not excuse itself) and always on.
+SUPPRESSION_RULE = "suppression-syntax"
+
+
+def available_rules() -> Dict[str, str]:
+    """rule name -> one-line description (the CLI's ``--rule`` choices)."""
+    rules = {name: rule.description for name, rule in sorted(
+        ALL_RULES.items())}
+    rules[SUPPRESSION_RULE] = (
+        "every checker comment parses as '# repro: allow[rule] -- reason' "
+        "and names real rules")
+    return rules
+
+
+@dataclass
+class CheckResult:
+    """Everything one check run produced."""
+
+    findings: List[Finding]
+    rule_names: List[str]
+    files_checked: int
+    root: str
+
+    @property
+    def active(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.active]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.suppressed]
+
+    @property
+    def baselined(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.baselined]
+
+    @property
+    def ok(self) -> bool:
+        return not self.active
+
+
+def _suppression_findings(project: Project) -> Iterable[Finding]:
+    known = set(ALL_RULES) | {SUPPRESSION_RULE}
+    for source in project.sources:
+        for problem in source.problems:
+            yield Finding(SUPPRESSION_RULE, source.rel, problem.line,
+                          problem.message)
+        for suppression in source.suppressions:
+            unknown = sorted(set(suppression.rules) - known)
+            if unknown:
+                yield Finding(
+                    SUPPRESSION_RULE, source.rel, suppression.line,
+                    f"suppression names unknown rule(s) {unknown}; "
+                    f"known rules: {sorted(known)}")
+
+
+def run_check(project: Project,
+              rule_names: Optional[Iterable[str]] = None,
+              baseline: Optional[Set[str]] = None) -> CheckResult:
+    """Run ``rule_names`` (default: all) over ``project``.
+
+    Suppression comments and the baseline are applied here so rules stay
+    pure producers of findings.
+    """
+    if rule_names is None:
+        selected = list(ALL_RULES)
+    else:
+        selected = list(dict.fromkeys(rule_names))
+        unknown = [name for name in selected
+                   if name not in ALL_RULES and name != SUPPRESSION_RULE]
+        if unknown:
+            raise CheckError(
+                f"unknown rule(s) {unknown}; available: "
+                f"{sorted(available_rules())}")
+    baseline = baseline or set()
+
+    raw: List[Finding] = []
+    for name in selected:
+        if name == SUPPRESSION_RULE:
+            continue
+        raw.extend(ALL_RULES[name].run(project))
+    # The syntax of the excuse mechanism is always checked.
+    raw.extend(_suppression_findings(project))
+
+    findings: List[Finding] = []
+    for finding in raw:
+        if finding.rule != SUPPRESSION_RULE:
+            source = project.get(finding.file)
+            if source is not None:
+                suppression = source.suppression_for(finding.line,
+                                                     finding.rule)
+                if suppression is not None:
+                    findings.append(
+                        finding.with_suppression(suppression.reason))
+                    continue
+            if finding.fingerprint in baseline:
+                findings.append(finding.with_baseline())
+                continue
+        findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return CheckResult(findings=findings,
+                       rule_names=selected,
+                       files_checked=len(project.sources),
+                       root=str(project.root))
+
+
+def render_text(result: CheckResult, verbose: bool = False) -> str:
+    """Human-readable report; active findings first, excused ones on -v."""
+    lines: List[str] = []
+    for finding in result.active:
+        lines.append(f"{finding.file}:{finding.line}: "
+                     f"[{finding.rule}] {finding.severity}: "
+                     f"{finding.message}")
+    if verbose:
+        for finding in result.suppressed:
+            lines.append(f"{finding.file}:{finding.line}: "
+                         f"[{finding.rule}] suppressed "
+                         f"({finding.suppression_reason})")
+        for finding in result.baselined:
+            lines.append(f"{finding.file}:{finding.line}: "
+                         f"[{finding.rule}] baselined: {finding.message}")
+    summary = (f"checked {result.files_checked} files, "
+               f"{len(result.rule_names)} rules: "
+               f"{len(result.active)} finding(s)")
+    extras = []
+    if result.suppressed:
+        extras.append(f"{len(result.suppressed)} suppressed")
+    if result.baselined:
+        extras.append(f"{len(result.baselined)} baselined")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def to_payload(result: CheckResult) -> dict:
+    """The ``--format json`` report (also the CI artifact)."""
+    return {
+        "schema": CHECK_SCHEMA,
+        "root": result.root,
+        "rules": result.rule_names,
+        "files_checked": result.files_checked,
+        "counts": {
+            "active": len(result.active),
+            "suppressed": len(result.suppressed),
+            "baselined": len(result.baselined),
+        },
+        "ok": result.ok,
+        "findings": [finding.to_dict() for finding in result.findings],
+    }

@@ -1,0 +1,188 @@
+"""Parsed source files, inline suppressions, and the project model.
+
+Suppression syntax — one comment, on the flagged line or standing alone on
+the line directly above it::
+
+    self.telemetry.emit("span", ...)  # repro: allow[telemetry-guard] -- guarded by run()
+
+    # repro: allow[determinism] -- sidecar timestamp, never feeds records
+    "ts": time.time(),
+
+Several rules may share one comment (``allow[rule-a, rule-b]``). The reason
+after ``--`` is mandatory: a suppression that does not say *why* is itself
+reported (rule ``suppression-syntax``), as is one naming an unknown rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import CheckError
+
+#: Any comment that tries to talk to the checker.
+_MARKER_RE = re.compile(r"#\s*repro\s*:")
+#: The one well-formed shape (hash, marker, rule list, reason).
+_ALLOW_RE = re.compile(
+    r"#\s*repro\s*:\s*allow\[([^\]]*)\]\s*(?:--\s*(\S.*?))?\s*$")
+
+#: Rule-name shape (also what ``Rule.name`` must satisfy).
+_RULE_NAME_RE = re.compile(r"^[a-z][a-z0-9-]*$")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``allow`` comment."""
+
+    line: int            # line the comment physically sits on
+    applies_to: int      # line a finding must start on to be excused
+    rules: Tuple[str, ...]
+    reason: str
+
+
+@dataclass(frozen=True)
+class SuppressionProblem:
+    """A malformed ``# repro:`` comment (reported by suppression-syntax)."""
+
+    line: int
+    message: str
+
+
+class SourceFile:
+    """One parsed Python file: text, AST, and its suppression comments."""
+
+    def __init__(self, path: Path, rel: str, text: str) -> None:
+        self.path = path
+        self.rel = rel
+        self.text = text
+        self.lines = text.splitlines()
+        try:
+            self.tree = ast.parse(text, filename=str(path))
+        except SyntaxError as exc:  # the tier-1 suite would die first, but
+            raise CheckError(f"{rel}: cannot parse: {exc}") from exc
+        self.suppressions: List[Suppression] = []
+        self.problems: List[SuppressionProblem] = []
+        self._by_line: Dict[int, List[Suppression]] = {}
+        self._parse_comments()
+
+    # -- suppression comments -------------------------------------------------------
+
+    def _parse_comments(self) -> None:
+        reader = io.StringIO(self.text).readline
+        try:
+            tokens = [tok for tok in tokenize.generate_tokens(reader)
+                      if tok.type == tokenize.COMMENT]
+        except tokenize.TokenError:  # pragma: no cover - ast.parse passed
+            tokens = []
+        for tok in tokens:
+            comment = tok.string
+            if not _MARKER_RE.search(comment):
+                continue
+            lineno, column = tok.start
+            match = _ALLOW_RE.search(comment)
+            if match is None:
+                self.problems.append(SuppressionProblem(
+                    lineno,
+                    "malformed checker comment "
+                    "(expected '# repro: allow[rule] -- reason'): "
+                    f"{comment.strip()!r}"))
+                continue
+            rules = tuple(name.strip() for name in match.group(1).split(",")
+                          if name.strip())
+            reason = (match.group(2) or "").strip()
+            if not rules:
+                self.problems.append(SuppressionProblem(
+                    lineno, "suppression names no rules"))
+                continue
+            bad = [name for name in rules
+                   if not _RULE_NAME_RE.match(name)]
+            if bad:
+                self.problems.append(SuppressionProblem(
+                    lineno, f"invalid rule name(s) in suppression: {bad}"))
+                continue
+            if not reason:
+                self.problems.append(SuppressionProblem(
+                    lineno,
+                    "suppression is missing its reason "
+                    "(write '-- why this is safe')"))
+                continue
+            standalone = not self.lines[lineno - 1][:column].strip()
+            applies_to = lineno + 1 if standalone else lineno
+            suppression = Suppression(lineno, applies_to, rules, reason)
+            self.suppressions.append(suppression)
+            self._by_line.setdefault(applies_to, []).append(suppression)
+
+    def suppression_for(self, line: int, rule: str) -> Optional[Suppression]:
+        for suppression in self._by_line.get(line, ()):
+            if rule in suppression.rules:
+                return suppression
+        return None
+
+
+@dataclass
+class Project:
+    """Everything a rule may look at: parsed sources plus config files."""
+
+    root: Path
+    src_root: Path
+    sources: List[SourceFile]
+    examples_dir: Optional[Path] = None
+    _by_rel: Dict[str, SourceFile] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._by_rel = {source.rel: source for source in self.sources}
+
+    @classmethod
+    def load(cls, root: Optional[Path] = None,
+             src_root: Optional[Path] = None,
+             examples_dir: Optional[Path] = None) -> "Project":
+        """Load a project tree.
+
+        With no arguments the repo that owns this installed package is
+        used: ``<root>/src/repro`` for sources, ``<root>/examples`` for the
+        declarative configs. Tests point ``src_root`` at fixture trees.
+        """
+        if root is None and src_root is None:
+            root = Path(__file__).resolve().parents[3]
+        if root is not None:
+            root = Path(root).resolve()
+            if src_root is None:
+                candidate = root / "src"
+                src_root = candidate if candidate.is_dir() else root
+            if examples_dir is None:
+                candidate = root / "examples"
+                examples_dir = candidate if candidate.is_dir() else None
+        src_root = Path(src_root).resolve()
+        if root is None:
+            root = src_root
+        if not src_root.is_dir():
+            raise CheckError(f"source root is not a directory: {src_root}")
+        sources = []
+        for path in sorted(src_root.rglob("*.py")):
+            rel = path.relative_to(src_root).as_posix()
+            sources.append(SourceFile(path, rel, path.read_text()))
+        if not sources:
+            raise CheckError(f"no Python sources under {src_root}")
+        return cls(root=root, src_root=src_root, sources=sources,
+                   examples_dir=examples_dir)
+
+    def get(self, rel: str) -> Optional[SourceFile]:
+        return self._by_rel.get(rel)
+
+    def files_under(self, *prefixes: str) -> Iterator[SourceFile]:
+        """Sources whose project-relative path starts with any prefix."""
+        for source in self.sources:
+            if any(source.rel.startswith(prefix) for prefix in prefixes):
+                yield source
+
+    def example_configs(self) -> List[Path]:
+        """TOML/JSON campaign configs shipped under ``examples/``."""
+        if self.examples_dir is None or not self.examples_dir.is_dir():
+            return []
+        return sorted(path for path in self.examples_dir.iterdir()
+                      if path.suffix in (".toml", ".json"))

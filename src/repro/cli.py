@@ -131,6 +131,7 @@ from repro.errors import (
     AnalysisError,
     CampaignConfigError,
     CampaignError,
+    CheckError,
     FleetError,
     FleetProtocolError,
     ObservabilityError,
@@ -671,6 +672,7 @@ def cmd_watch(args: argparse.Namespace) -> int:
         print(f"warning: {records_path} shrank from {previous_offset} to "
               f"{size} bytes (rotated or truncated); re-tailing from the "
               f"start", file=sys.stderr)
+        # repro: allow[telemetry-guard] -- the hub subscribed right above keeps this bus permanently active
         bus.emit("file_rotated", path=str(records_path),
                  previous_offset=previous_offset, size=size)
 
@@ -955,6 +957,30 @@ def cmd_merge(args: argparse.Namespace) -> int:
           f"{args.output}: {stats.written} unique, "
           f"{stats.duplicates} duplicate(s) collapsed")
     return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Static contract checker over the source tree (never imports it)."""
+    from repro.check import (Project, load_baseline, render_text, run_check,
+                             to_payload, write_baseline)
+    from repro.check.baseline import DEFAULT_BASELINE_NAME
+
+    root = Path(args.root).resolve() if args.root else None
+    project = Project.load(root=root)
+    baseline_path = (Path(args.baseline) if args.baseline
+                     else Path(project.root) / DEFAULT_BASELINE_NAME)
+    rules = args.rule or None
+    if args.write_baseline:
+        result = run_check(project, rules)
+        count = write_baseline(baseline_path, result.active)
+        print(f"wrote {count} finding(s) to {baseline_path}")
+        return 0
+    result = run_check(project, rules, baseline=load_baseline(baseline_path))
+    if args.format == "json":
+        print(json.dumps(to_payload(result), indent=2))
+    else:
+        print(render_text(result, verbose=args.verbose))
+    return 0 if result.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1387,6 +1413,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the merged store to PATH (atomically)")
     merge.set_defaults(func=cmd_merge)
 
+    check = sub.add_parser(
+        "check",
+        help="static contract checker: determinism, snapshot completeness, "
+             "telemetry guards, lock discipline, wire-schema literals, and "
+             "registry resolution, all via stdlib ast (exits nonzero on "
+             "non-baselined findings)")
+    check.add_argument("--rule", action="append", metavar="RULE",
+                       help="run only RULE (repeatable; default: all rules)")
+    check.add_argument("--format", choices=["text", "json"], default="text",
+                       help="report format (json is the CI artifact)")
+    check.add_argument("--baseline", metavar="PATH",
+                       help="findings baseline to tolerate (default: "
+                            "check_baseline.json at the project root)")
+    check.add_argument("--write-baseline", action="store_true",
+                       help="snapshot the currently-active findings as the "
+                            "new baseline and exit 0")
+    check.add_argument("--root", metavar="DIR",
+                       help="project root to check (default: the repo this "
+                            "package was loaded from)")
+    check.add_argument("--verbose", action="store_true",
+                       help="also list suppressed and baselined findings")
+    check.set_defaults(func=cmd_check)
+
     return parser
 
 
@@ -1424,6 +1473,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # operational errors, reported without a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except CheckError as exc:
+        # Unknown rule names, unreadable baselines, bad roots: usage errors
+        # of the static checker, distinct from exit 1 (real findings).
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests of main()

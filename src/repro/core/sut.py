@@ -393,8 +393,10 @@ class JailhouseSUT(SystemUnderTest):
                 step_count += 1
         finally:
             del self._dispatch_guest_event
+        # repro: allow[telemetry-guard] -- run() only calls _run_instrumented when the bus is active (cross-function guard)
         telemetry.emit("span", name="sut.guest_step",
                        elapsed_s=step_elapsed, count=step_count)
+        # repro: allow[telemetry-guard] -- run() only calls _run_instrumented when the bus is active (cross-function guard)
         telemetry.emit("span", name="sut.trap_dispatch",
                        elapsed_s=dispatch["elapsed"],
                        count=dispatch["count"])

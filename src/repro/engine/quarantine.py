@@ -52,7 +52,7 @@ class QuarantineLog:
             "attempts": attempts,
             "reason": reason,
             "error": error,
-            "ts": time.time(),
+            "ts": time.time(),  # repro: allow[determinism] -- operator-facing sidecar timestamp; never feeds records or identities
         }
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a", encoding="utf-8") as handle:

@@ -172,6 +172,14 @@ class SafetyAssessmentError(ReproError):
     """Raised by the ISO 26262 / SEooC assessment layer."""
 
 
+class CheckError(ReproError):
+    """Raised by the static contract checker (``repro-fi check``) for
+    usage problems: unknown rule names, unreadable baselines, or a source
+    root that cannot be loaded. Findings are *not* errors — they are the
+    checker's normal output; this class covers misuse of the tool itself.
+    """
+
+
 class ObservabilityError(ReproError):
     """Raised by the live-observability layer (telemetry, watch, bench-history).
 

@@ -233,9 +233,14 @@ class FleetCoordinator:
             raise FleetError(
                 f"{path}: schema is {payload.get('schema')!r}, expected "
                 f"{STATE_SCHEMA!r}")
-        for entry in payload.get("campaigns", []):
-            config = CampaignConfig.from_dict(entry["config"])
-            self._add_campaign(entry["campaign_id"], config, resume=True)
+        # Resume runs before the HTTP threads start, but the campaign table
+        # is guarded state: take the lock anyway so the discipline holds
+        # statically, not just by start-up ordering.
+        with self._lock:
+            for entry in payload.get("campaigns", []):
+                config = CampaignConfig.from_dict(entry["config"])
+                self._add_campaign_locked(entry["campaign_id"], config,
+                                          resume=True)
         return len(self._campaign_order)
 
     # -- submission ---------------------------------------------------------------------
@@ -249,12 +254,12 @@ class FleetCoordinator:
             if campaign_id in self.campaigns:
                 raise FleetError(
                     f"campaign id collision for {campaign_id!r}")
-            self._add_campaign(campaign_id, config, resume=False)
+            self._add_campaign_locked(campaign_id, config, resume=False)
             self._save_state()
         return campaign_id
 
-    def _add_campaign(self, campaign_id: str, config: CampaignConfig,
-                      *, resume: bool) -> None:
+    def _add_campaign_locked(self, campaign_id: str, config: CampaignConfig,
+                             *, resume: bool) -> None:
         entry = CampaignEntry(campaign_id, config, self.state_dir)
         if resume:
             entry.load_checkpoint()

@@ -91,6 +91,7 @@ class GuestOS(abc.ABC):
         self.link_return_probability = link_return_probability
         self.crash_reason: Optional[str] = None
         #: Cached (cell, base, size, code_hi, stack_lo, stack_hi) draw bounds.
+        # repro: allow[snapshot-complete] -- self-validating cache keyed on cell identity; recomputed whenever the cell changes
         self._nominal_bounds: Optional[tuple] = None
 
     # -- lifecycle --------------------------------------------------------------------

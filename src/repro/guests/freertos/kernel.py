@@ -54,6 +54,7 @@ class FreeRTOSKernel(GuestOS):
         self.config = config or KernelConfig()
         self.tasks: List[Task] = []
         self._priority_order: List[Task] = []
+        # repro: allow[snapshot-complete] -- pure memo of dt -> tick count; a hit and a recompute yield identical state
         self._ticks_cache: Optional[tuple] = None
         self.queues: Dict[str, MessageQueue] = {}
         self.ivshmem: Optional[IvshmemChannel] = None
@@ -271,6 +272,11 @@ class FreeRTOSKernel(GuestOS):
             self.float_accumulator, self.int_accumulator,
             self._last_status_print, self.ivshmem,
         )
+        # The dispatch order is a list of the same Task objects restore
+        # mutates in place; copying the list (not the tasks) is enough to
+        # bring back the order that was live at capture time even if
+        # create_task() ran in between.
+        state["priority_order"] = list(self._priority_order)
         state["tasks"] = [task.snapshot_state() for task in self.tasks]
         state["queues"] = {
             name: queue.snapshot_state() for name, queue in self.queues.items()
@@ -282,6 +288,7 @@ class FreeRTOSKernel(GuestOS):
         (self.tick_count, self.idle_ticks, self.context_switches,
          self.float_accumulator, self.int_accumulator,
          self._last_status_print, self.ivshmem) = state["freertos"]
+        self._priority_order = list(state["priority_order"])
         for task, task_state in zip(self.tasks, state["tasks"]):
             task.restore_state(task_state)
         for name, queue_state in state["queues"].items():

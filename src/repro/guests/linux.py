@@ -36,6 +36,7 @@ class LinuxGuest(GuestOS):
         self.log_period = log_period
         self.jiffies = 0
         self.syscalls_serviced = 0
+        # repro: allow[snapshot-complete] -- pure memo of dt -> jiffy increment; a hit and a recompute yield identical state
         self._jiffy_cache: Optional[tuple] = None
         self._last_log = 0.0
         self.kernel_panicked = False

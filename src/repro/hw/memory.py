@@ -142,9 +142,11 @@ class PhysicalMemory:
         self._pages: Dict[int, bytearray] = {}
         self._mmio_handlers: Dict[str, "MmioHandler"] = {}
         #: Sorted region start addresses, parallel to ``self._regions``.
+        # repro: allow[snapshot-complete] -- derived region index; restore_state rebuilds it via _reindex()
         self._starts: List[int] = []
         #: page index -> (region, handler-or-None, flags int) for pages fully
         #: inside one region, or ``_UNCACHEABLE`` for boundary/unmapped pages.
+        # repro: allow[snapshot-complete] -- derived page lookup cache; restore_state rebuilds it via _reindex()
         self._page_cache: Dict[int, Optional[Tuple[MemoryRegion, Optional["MmioHandler"], int]]] = {}
         #: Pages written since the last snapshot/restore capture point.
         self._dirty: set = set()

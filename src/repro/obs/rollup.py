@@ -138,7 +138,7 @@ class TelemetryHub:
         "shard_stolen": "shards_stolen",
     }
 
-    def _on_fleet_event(self, kind: str, payload: dict) -> None:
+    def _on_fleet_event_locked(self, kind: str, payload: dict) -> None:
         """Fold one coordinator event into the fleet rollup (lock held)."""
         counter = self._FLEET_COUNTERS.get(kind)
         if counter is not None:
@@ -166,7 +166,7 @@ class TelemetryHub:
         with self._lock:
             if counter is not None:
                 self._fault_tolerance[counter] += 1
-            self._on_fleet_event(kind, payload.get("payload") or {})
+            self._on_fleet_event_locked(kind, payload.get("payload") or {})
             if kind == "batch_formed":
                 self._batching["batches"] += 1
                 lanes = payload.get("payload", {}).get("lanes")

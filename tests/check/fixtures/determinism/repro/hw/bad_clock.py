@@ -1,0 +1,35 @@
+"""Known-bad fixture: ambient entropy and set iteration in scoped code."""
+
+import random
+import time
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def jitter() -> float:
+    return random.random()
+
+
+def excused_stamp() -> float:
+    return time.time()  # repro: allow[determinism] -- fixture: sidecar timestamp, never recorded
+
+
+def seeded(seed: int) -> float:
+    return random.Random(seed).random()
+
+
+class Pool:
+    def __init__(self) -> None:
+        self._members = set()
+
+    def ordered(self) -> list:
+        return [name for name in self._members]
+
+    def listed(self) -> list:
+        return list(self._members)
+
+    def walk(self) -> None:
+        for name in {"a", "b"}:
+            print(name)

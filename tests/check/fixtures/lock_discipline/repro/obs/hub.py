@@ -1,0 +1,32 @@
+"""Known-bad fixture: guarded state mutated outside its lock."""
+
+import threading
+
+
+class Hub:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = {}
+        self._last = None
+
+    def on_event(self, key) -> None:
+        with self._lock:
+            self._counts[key] = self._counts.get(key, 0) + 1
+            self._last = key
+
+    def racy(self, key) -> None:
+        self._counts[key] = 0
+
+    def unlocked_call(self) -> None:
+        self._reset_locked()
+
+    def safe_call(self) -> None:
+        with self._lock:
+            self._reset_locked()
+
+    def _reset_locked(self) -> None:
+        self._counts.clear()
+        self._last = None
+
+    def excused(self, key) -> None:
+        self._counts.pop(key, None)  # repro: allow[lock-discipline] -- fixture: single-threaded teardown path

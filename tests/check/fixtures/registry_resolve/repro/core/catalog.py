@@ -1,0 +1,23 @@
+"""Known-bad fixture: literal part keys with no matching registration."""
+
+from repro.core.registry import TARGETS
+
+
+def build_good():
+    return TARGETS.build("trap-alias")
+
+
+def build_bad():
+    return TARGETS.build("trp")
+
+
+def build_excused():
+    return TARGETS.build("future-target")  # repro: allow[registry-resolve] -- fixture: registered by a plugin at runtime
+
+
+def bad_ref():
+    return PartRef("trapp")
+
+
+def PartRef(key):
+    return key

@@ -1,0 +1,26 @@
+"""Fixture registries, mirroring the real core/registry.py shape."""
+
+
+class Registry:
+    def register(self, key, *aliases):
+        def decorate(obj):
+            return obj
+        return decorate
+
+    def add_value(self, key, value, aliases=()):
+        return value
+
+    def build(self, key):
+        raise KeyError(key)
+
+
+TARGETS = Registry()
+SCENARIOS = Registry()
+
+
+@TARGETS.register("trap", "trap-alias")
+def build_trap():
+    return object()
+
+
+SCENARIOS.add_value("steady-state", object(), aliases=("steady",))

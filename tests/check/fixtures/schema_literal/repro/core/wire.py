@@ -1,0 +1,7 @@
+"""Fixture: the defining constant for the wire-format tag."""
+
+WIRE_SCHEMA = "repro-fixture/v1"
+
+
+def make_header() -> dict:
+    return {"schema": WIRE_SCHEMA}

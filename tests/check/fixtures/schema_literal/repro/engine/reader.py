@@ -1,0 +1,9 @@
+"""Known-bad fixture: an inline duplicate of a defined wire-format tag."""
+
+
+def accepts(header: dict) -> bool:
+    return header.get("schema") == "repro-fixture/v1"
+
+
+def excused(header: dict) -> bool:
+    return header.get("schema") == "repro-other/v9"  # repro: allow[schema-literal] -- fixture: foreign schema quoted in a rejection test

@@ -1,0 +1,41 @@
+"""Known-bad fixture: missing snapshot coverage plus an aliased container."""
+
+
+class Device:
+    def __init__(self) -> None:
+        self._events = []
+        self._mode = "idle"
+        # repro: allow[snapshot-complete] -- fixture: derived cache, rebuilt lazily on first read
+        self._cache = {}
+
+    def record(self, event) -> None:
+        self._events.append(event)
+
+    def set_mode(self, mode) -> None:
+        self._mode = mode
+        self._cache.clear()
+
+    def snapshot_state(self) -> dict:
+        return {"events": self._events}
+
+    def restore_state(self, state) -> None:
+        self._events = list(state["events"])
+
+
+class CleanDevice:
+    def __init__(self) -> None:
+        self._events = []
+        self._mode = "idle"
+
+    def record(self, event) -> None:
+        self._events.append(event)
+
+    def set_mode(self, mode) -> None:
+        self._mode = mode
+
+    def snapshot_state(self) -> dict:
+        return {"events": list(self._events), "mode": self._mode}
+
+    def restore_state(self, state) -> None:
+        self._events = list(state["events"])
+        self._mode = state["mode"]

@@ -1,0 +1,6 @@
+"""Known-bad fixture: every way a checker comment can be malformed."""
+
+MISSING_REASON = 1  # repro: allow[determinism]
+MALFORMED = 2  # repro: allowing stuff
+UNKNOWN_RULE = 3  # repro: allow[no-such-rule] -- reason given
+NO_RULES = 4  # repro: allow[] -- names no rules

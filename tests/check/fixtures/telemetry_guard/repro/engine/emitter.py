@@ -1,0 +1,21 @@
+"""Known-bad fixture: an emit site not dominated by a bus-active check."""
+
+
+class Engine:
+    def __init__(self, telemetry) -> None:
+        self.telemetry = telemetry
+
+    def unguarded(self) -> None:
+        self.telemetry.emit("step", count=1)
+
+    def guarded(self) -> None:
+        if self.telemetry:
+            self.telemetry.emit("step", count=1)
+
+    def early_out(self) -> None:
+        if not self.telemetry:
+            return
+        self.telemetry.emit("step", count=1)
+
+    def excused(self) -> None:
+        self.telemetry.emit("step", count=1)  # repro: allow[telemetry-guard] -- fixture: caller checks the bus

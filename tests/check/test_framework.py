@@ -1,0 +1,130 @@
+"""Framework behaviour: suppressions, baselines, rendering, rule selection."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.check import (BASELINE_SCHEMA, CHECK_SCHEMA, Finding, Project,
+                         available_rules, load_baseline, render_text,
+                         run_check, to_payload, write_baseline)
+from repro.check.source import SourceFile
+from repro.errors import CheckError
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def parse(tmp_path, text):
+    path = tmp_path / "mod.py"
+    path.write_text(text)
+    return SourceFile(path, "repro/mod.py", text)
+
+
+class TestSuppressionParsing:
+    def test_inline_applies_to_its_own_line(self, tmp_path):
+        source = parse(tmp_path,
+                       "x = 1  # repro: allow[determinism] -- why not\n")
+        assert source.suppression_for(1, "determinism") is not None
+        assert source.suppression_for(2, "determinism") is None
+
+    def test_standalone_applies_to_the_next_line(self, tmp_path):
+        source = parse(tmp_path,
+                       "# repro: allow[determinism] -- why not\nx = 1\n")
+        assert source.suppression_for(2, "determinism") is not None
+        assert source.suppression_for(1, "determinism") is None
+
+    def test_one_comment_may_name_several_rules(self, tmp_path):
+        source = parse(
+            tmp_path,
+            "x = 1  # repro: allow[determinism, lock-discipline] -- shared\n")
+        assert source.suppression_for(1, "determinism") is not None
+        assert source.suppression_for(1, "lock-discipline") is not None
+        assert source.suppression_for(1, "schema-literal") is None
+
+    def test_missing_reason_is_a_problem_not_a_suppression(self, tmp_path):
+        source = parse(tmp_path, "x = 1  # repro: allow[determinism]\n")
+        assert not source.suppressions
+        assert len(source.problems) == 1
+        assert "missing its reason" in source.problems[0].message
+
+    def test_unrelated_comments_are_ignored(self, tmp_path):
+        source = parse(tmp_path, "x = 1  # plain old comment\n")
+        assert not source.suppressions and not source.problems
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        findings = [Finding("determinism", "repro/a.py", 3, "msg")]
+        path = tmp_path / "baseline.json"
+        assert write_baseline(path, findings) == 1
+        data = json.loads(path.read_text())
+        assert data["schema"] == BASELINE_SCHEMA
+        fingerprints = load_baseline(path)
+        assert fingerprints == {"determinism::repro/a.py::msg"}
+
+    def test_missing_file_is_an_empty_baseline(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == set()
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{\"schema\": \"something-else/v1\"}")
+        with pytest.raises(CheckError):
+            load_baseline(path)
+
+    def test_fingerprint_survives_line_drift(self):
+        before = Finding("determinism", "repro/a.py", 3, "msg")
+        after = Finding("determinism", "repro/a.py", 40, "msg")
+        assert before.fingerprint == after.fingerprint
+
+    def test_baselined_findings_do_not_fail_the_run(self):
+        project = Project.load(root=FIXTURES / "schema_literal")
+        first = run_check(project, ["schema-literal"])
+        assert not first.ok
+        baseline = {finding.fingerprint for finding in first.active}
+        again = run_check(project, ["schema-literal"], baseline=baseline)
+        assert again.ok
+        assert len(again.baselined) == len(first.active)
+
+
+class TestRunner:
+    def test_unknown_rule_raises_check_error(self):
+        project = Project.load(root=FIXTURES / "schema_literal")
+        with pytest.raises(CheckError, match="unknown rule"):
+            run_check(project, ["no-such-rule"])
+
+    def test_available_rules_lists_all_seven(self):
+        rules = available_rules()
+        assert sorted(rules) == [
+            "determinism", "lock-discipline", "registry-resolve",
+            "schema-literal", "snapshot-complete", "suppression-syntax",
+            "telemetry-guard"]
+        assert all(rules.values())
+
+    def test_missing_source_root_raises(self, tmp_path):
+        with pytest.raises(CheckError, match="not a directory"):
+            Project.load(src_root=tmp_path / "nowhere")
+
+    def test_render_text_names_file_line_and_rule(self):
+        project = Project.load(root=FIXTURES / "schema_literal")
+        result = run_check(project, ["schema-literal"])
+        text = render_text(result)
+        assert "repro/engine/reader.py:5: [schema-literal] error:" in text
+        assert "1 finding(s)" in text
+
+    def test_render_text_verbose_lists_suppressed(self):
+        project = Project.load(root=FIXTURES / "schema_literal")
+        result = run_check(project, ["schema-literal"])
+        assert "suppressed (" not in render_text(result)
+        assert "suppressed (" in render_text(result, verbose=True)
+
+    def test_payload_shape(self):
+        project = Project.load(root=FIXTURES / "schema_literal")
+        result = run_check(project, ["schema-literal"])
+        payload = to_payload(result)
+        assert payload["schema"] == CHECK_SCHEMA
+        assert payload["rules"] == ["schema-literal"]
+        assert payload["counts"]["active"] == 1
+        assert payload["counts"]["suppressed"] == 1
+        assert payload["ok"] is False
+        assert all({"rule", "file", "line", "message"} <= set(entry)
+                   for entry in payload["findings"])

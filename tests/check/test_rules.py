@@ -1,0 +1,188 @@
+"""Each rule fires on its known-bad fixture and suppressions silence it.
+
+Every fixture tree under ``fixtures/<rule>/`` is a miniature project root
+laid out like the repo (``repro/<package>/...``). Each contains at least
+one true positive, one clean counterpart, and one violation excused by an
+inline suppression — so these tests pin down both that the rule *fires*
+and that the ``allow`` comment is honoured.
+"""
+
+from pathlib import Path
+
+from repro.check import Project, run_check
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def check_fixture(name, rules):
+    project = Project.load(root=FIXTURES / name)
+    return run_check(project, rules)
+
+
+def active_lines(result, rule):
+    return sorted((finding.file, finding.line)
+                  for finding in result.active if finding.rule == rule)
+
+
+class TestDeterminism:
+    def test_fires_on_entropy_and_set_iteration(self):
+        result = check_fixture("determinism", ["determinism"])
+        messages = [finding.message for finding in result.active]
+        assert len(messages) == 5
+        assert any("time.time" in message for message in messages)
+        assert any("random.random" in message for message in messages)
+        assert any("comprehension" in message for message in messages)
+        assert any("list() over the unordered set" in message
+                   for message in messages)
+        assert any("for-loop iterates" in message for message in messages)
+
+    def test_seeded_random_is_allowed(self):
+        result = check_fixture("determinism", ["determinism"])
+        # random.Random(seed).random() in seeded() (line 20) is sanctioned.
+        assert ("repro/hw/bad_clock.py", 20) not in active_lines(
+            result, "determinism")
+
+    def test_suppression_silences(self):
+        result = check_fixture("determinism", ["determinism"])
+        suppressed = [finding for finding in result.suppressed
+                      if finding.rule == "determinism"]
+        assert len(suppressed) == 1
+        assert "sidecar timestamp" in suppressed[0].suppression_reason
+        assert not result.ok  # the unsuppressed findings still count
+
+
+class TestSnapshotComplete:
+    def test_fires_on_missing_and_aliased_attributes(self):
+        result = check_fixture("snapshot_complete", ["snapshot-complete"])
+        messages = [finding.message for finding in result.active]
+        assert len(messages) == 2
+        assert any("Device._mode is mutated by set_mode()" in message
+                   for message in messages)
+        assert any("Device._events is aliased into the snapshot" in message
+                   for message in messages)
+
+    def test_clean_class_passes(self):
+        result = check_fixture("snapshot_complete", ["snapshot-complete"])
+        assert not any("CleanDevice" in finding.message
+                       for finding in result.findings)
+
+    def test_suppression_silences(self):
+        result = check_fixture("snapshot_complete", ["snapshot-complete"])
+        suppressed = [finding for finding in result.suppressed
+                      if finding.rule == "snapshot-complete"]
+        assert len(suppressed) == 1
+        assert "_cache" in suppressed[0].message
+
+
+class TestTelemetryGuard:
+    def test_fires_on_the_unguarded_emit_only(self):
+        result = check_fixture("telemetry_guard", ["telemetry-guard"])
+        assert active_lines(result, "telemetry-guard") == [
+            ("repro/engine/emitter.py", 9)]
+
+    def test_suppression_silences(self):
+        result = check_fixture("telemetry_guard", ["telemetry-guard"])
+        assert len(result.suppressed) == 1
+        assert result.suppressed[0].line == 21
+
+
+class TestLockDiscipline:
+    def test_fires_on_unlocked_mutation_and_unlocked_helper_call(self):
+        result = check_fixture("lock_discipline", ["lock-discipline"])
+        messages = [finding.message for finding in result.active]
+        assert len(messages) == 2
+        assert any("Hub.racy mutates guarded attribute '_counts'" in message
+                   for message in messages)
+        assert any("Hub.unlocked_call calls self._reset_locked() without"
+                   in message for message in messages)
+
+    def test_locked_helper_and_with_block_pass(self):
+        result = check_fixture("lock_discipline", ["lock-discipline"])
+        for finding in result.active:
+            assert "safe_call" not in finding.message
+            assert "on_event" not in finding.message
+
+    def test_suppression_silences(self):
+        result = check_fixture("lock_discipline", ["lock-discipline"])
+        suppressed = [finding for finding in result.suppressed
+                      if finding.rule == "lock-discipline"]
+        assert len(suppressed) == 1
+        assert "excused" in suppressed[0].message
+
+
+class TestSchemaLiteral:
+    def test_fires_on_the_inline_duplicate(self):
+        result = check_fixture("schema_literal", ["schema-literal"])
+        assert len(result.active) == 1
+        finding = result.active[0]
+        assert finding.file == "repro/engine/reader.py"
+        assert "inline duplicate of 'repro-fixture/v1'" in finding.message
+        assert "WIRE_SCHEMA" in finding.message
+
+    def test_defining_constant_not_flagged(self):
+        result = check_fixture("schema_literal", ["schema-literal"])
+        assert not any(finding.file == "repro/core/wire.py"
+                       for finding in result.findings)
+
+    def test_suppression_silences_the_undefined_tag(self):
+        result = check_fixture("schema_literal", ["schema-literal"])
+        suppressed = [finding for finding in result.suppressed
+                      if finding.rule == "schema-literal"]
+        assert len(suppressed) == 1
+        assert "repro-other/v9" in suppressed[0].message
+
+
+class TestRegistryResolve:
+    def test_fires_on_unknown_keys_with_hints(self):
+        result = check_fixture("registry_resolve", ["registry-resolve"])
+        messages = [finding.message for finding in result.active]
+        assert len(messages) == 3
+        assert any("unknown target key 'trp'" in message
+                   and "did you mean 'trap'" in message
+                   for message in messages)
+        assert any("unknown part key 'trapp' in a PartRef" in message
+                   for message in messages)
+        assert any("unknown scenario key 'steady-stat'" in message
+                   and "steady-state" in message
+                   for message in messages)
+
+    def test_aliases_resolve(self):
+        result = check_fixture("registry_resolve", ["registry-resolve"])
+        assert not any("trap-alias" in finding.message
+                       for finding in result.active)
+
+    def test_example_config_kind_resolves(self):
+        result = check_fixture("registry_resolve", ["registry-resolve"])
+        toml_findings = [finding for finding in result.active
+                         if finding.file.endswith("bad.toml")]
+        assert len(toml_findings) == 1
+        assert "[campaign] scenario" in toml_findings[0].message
+
+    def test_suppression_silences(self):
+        result = check_fixture("registry_resolve", ["registry-resolve"])
+        suppressed = [finding for finding in result.suppressed
+                      if finding.rule == "registry-resolve"]
+        assert len(suppressed) == 1
+        assert "future-target" in suppressed[0].message
+
+
+class TestSuppressionSyntax:
+    def test_every_malformed_comment_shape_is_reported(self):
+        result = check_fixture("suppression_syntax", ["suppression-syntax"])
+        messages = [finding.message for finding in result.active
+                    if finding.rule == "suppression-syntax"]
+        assert len(messages) == 4
+        assert any("missing its reason" in message for message in messages)
+        assert any("malformed checker comment" in message
+                   for message in messages)
+        assert any("unknown rule(s) ['no-such-rule']" in message
+                   for message in messages)
+        assert any("names no rules" in message for message in messages)
+
+    def test_suppression_syntax_findings_cannot_be_baselined(self):
+        project = Project.load(root=FIXTURES / "suppression_syntax")
+        first = run_check(project, ["suppression-syntax"])
+        baseline = {finding.fingerprint for finding in first.active}
+        again = run_check(project, ["suppression-syntax"], baseline=baseline)
+        assert not again.ok
+        assert len(again.active) == 4

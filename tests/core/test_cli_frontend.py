@@ -32,6 +32,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["campaign", "--intensity", "extreme"])
 
+    def test_check_subcommand_smoke(self, capsys):
+        # The contract checker is part of the frontend: clean tree, exit 0.
+        code, out, _ = run_cli(capsys, "check")
+        assert code == 0
+        assert "0 finding(s)" in out
+
 
 class TestGolden:
     def test_golden_run_reports_handler_calls(self, capsys):

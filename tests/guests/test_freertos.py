@@ -198,3 +198,39 @@ class TestPaperWorkload:
                 kinds.add(event.trap)
         assert TrapCode.WFI in kinds
         assert TrapCode.CP15_ACCESS in kinds
+
+
+class TestSnapshotDispatchOrder:
+    """Regression: the precomputed dispatch order is part of the snapshot.
+
+    ``_priority_order`` used to be rebuilt only by ``create_task``; a
+    snapshot taken before a task was added and restored afterwards kept the
+    *post*-addition order, so the restored fork scheduled a task that did
+    not exist in the captured state.
+    """
+
+    def make_kernel(self) -> FreeRTOSKernel:
+        kernel = FreeRTOSKernel("FreeRTOS", seed=1)
+        kernel.create_task(Task("low", 1, 1.0, TestTask.noop_body))
+        kernel.create_task(Task("high", 5, 1.0, TestTask.noop_body))
+        return kernel
+
+    def test_restore_rewinds_the_dispatch_order(self):
+        kernel = self.make_kernel()
+        state = kernel.snapshot_state()
+        kernel.create_task(Task("mid", 3, 1.0, TestTask.noop_body))
+        assert [task.name for task in kernel._priority_order] == [
+            "high", "mid", "low"]
+        kernel.restore_state(state)
+        assert [task.name for task in kernel._priority_order] == [
+            "high", "low"]
+        ready = kernel._ready_tasks(0.0)
+        assert "mid" not in [task.name for task in ready]
+
+    def test_snapshot_owns_its_order_list(self):
+        kernel = self.make_kernel()
+        state = kernel.snapshot_state()
+        kernel.create_task(Task("mid", 3, 1.0, TestTask.noop_body))
+        # The captured list must not see the post-snapshot rebuild.
+        assert [task.name for task in state["priority_order"]] == [
+            "high", "low"]
